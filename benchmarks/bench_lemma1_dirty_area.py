@@ -1,0 +1,89 @@
+"""E3 — Lemma 1 / Figs. 10-11: the dirty area after Step 3 is at most N^2.
+
+Regenerates the quantity behind Fig. 10's shaded picture: for 0-1 inputs the
+window where zeros and ones mix after interleaving.  Sweeps N, exhausts the
+0-1 instance space at small sizes and samples it at larger ones, reports the
+worst window seen, and asserts the bound — and its tightness (the worst case
+actually reaches N^2, which is why Step 4 cannot be skipped).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import print_table
+from repro.core.multiway_merge import multiway_merge
+from repro.core.verification import (
+    max_displacement,
+    measure_dirty_area,
+    zero_one_merge_inputs,
+)
+
+
+def _worst_dirty_exhaustive(n: int) -> int:
+    worst = 0
+    for seqs in zero_one_merge_inputs(n, n * n):
+        captured = {}
+        multiway_merge(seqs, trace=lambda e, p: captured.update({e: p}))
+        worst = max(worst, measure_dirty_area(captured["step3_D"]))
+    return worst
+
+
+def _worst_dirty_sampled(n: int, k: int, trials: int, seed: int) -> int:
+    rnd = random.Random(seed)
+    m = n ** (k - 1)
+    worst = 0
+    for _ in range(trials):
+        zero_counts = [rnd.randint(0, m) for _ in range(n)]
+        seqs = [[0] * z + [1] * (m - z) for z in zero_counts]
+        captured = {}
+        multiway_merge(seqs, trace=lambda e, p: captured.update({e: p}))
+        worst = max(worst, measure_dirty_area(captured["step3_D"]))
+    return worst
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_lemma1_exhaustive(benchmark, n):
+    """Exhaustive 0-1 sweep at k = 3; dirty area <= N^2, bound tight."""
+    worst = benchmark(_worst_dirty_exhaustive, n)
+    assert worst <= n * n
+    assert worst == n * n  # tightness: the clean-up step is necessary
+
+
+def test_lemma1_table_and_larger_k(benchmark):
+    """Sampled sweep across N and k; the bound holds independent of k —
+    exactly Lemma 1's statement (the dirty area does not grow with m)."""
+    rows = []
+    worst_overall = []
+    for n, k in [(2, 3), (2, 4), (2, 5), (3, 3), (3, 4), (4, 3), (5, 3), (6, 3)]:
+        worst = _worst_dirty_sampled(n, k, trials=200, seed=n * 10 + k)
+        rows.append([n, k, n ** (k - 1), n * n, worst, "<=" if worst <= n * n else "VIOLATION"])
+        worst_overall.append((n, worst))
+        assert worst <= n * n
+    print_table(
+        "Lemma 1: dirty area after Step 3 (0-1 inputs)",
+        ["N", "k", "m=N^(k-1)", "bound N^2", "worst seen", "ok"],
+        rows,
+    )
+    benchmark(_worst_dirty_sampled, 4, 3, 50, 1)
+
+
+def test_lemma1_general_keys_displacement(benchmark, rng):
+    """§4 Step 3 remark: with arbitrary keys, every key lands within N^2 of
+    its final position (max displacement metric)."""
+    n, k = 4, 3
+    m = n ** (k - 1)
+
+    def worst_displacement() -> int:
+        worst = 0
+        for _ in range(100):
+            seqs = [sorted(rng.integers(0, 40, size=m).tolist()) for _ in range(n)]
+            captured = {}
+            multiway_merge(seqs, trace=lambda e, p: captured.update({e: p}))
+            worst = max(worst, max_displacement(captured["step3_D"]))
+        return worst
+
+    worst = benchmark.pedantic(worst_displacement, rounds=1, iterations=1)
+    assert worst <= n * n

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper's evaluation
+(DESIGN.md's experiment index E3-E15): it *times* the relevant operation via
+pytest-benchmark and *asserts the paper's shape claim* (who wins, growth
+rate, exact formula match) on the measured round counts.  Absolute
+wall-clock numbers are properties of this simulator, not of the paper's
+testbeds; the round counts are the reproduction target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2025)
+
+
+def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Fixed-width table printer for benchmark reports (-s to see them)."""
+    cells = [[str(x) for x in row] for row in rows]
+    widths = [
+        max(len(headers[c]), max((len(r[c]) for r in cells), default=0))
+        for c in range(len(headers))
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in cells:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""§5.3 showdown: our generalized sort vs Batcher on the hypercube.
+
+"The time to sort on the hypercube with our algorithm is
+3(r-1)^2 + (r-1)(r-2) = O(r^2).  This running time is same as the running
+time of the well-known Batcher odd-even merge algorithm for hypercubes.
+In fact, Batcher algorithm is a special case of our algorithm."
+
+Both algorithms run on the *same* fine-grained machine simulator, so every
+number is a measured synchronous round.  The table shows the two O(r^2)
+curves and the constant-factor gap — plus a bonus the paper doesn't
+mention: with N = 2 the second block transposition of Step 4 is vacuous
+(only two blocks per merge), so our implementation beats the paper's
+formula by exactly r - 2 rounds.
+
+Run:  python examples/hypercube_showdown.py [max_r]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import MachineSorter, k2, lattice_to_sequence
+from repro.analysis.complexity import hypercube_sort_rounds
+from repro.baselines.batcher import batcher_hypercube_rounds, bitonic_sort_on_hypercube
+
+
+def main(max_r: int = 8) -> None:
+    rng = np.random.default_rng(42)
+    print(f"{'r':>3} {'keys':>6} {'paper formula':>13} {'ours (measured)':>15} "
+          f"{'batcher (measured)':>18} {'ratio':>6}")
+    print("-" * 68)
+    for r in range(2, max_r + 1):
+        keys = rng.integers(0, 10**6, size=2**r)
+
+        machine, ledger = MachineSorter.for_factor(k2(), r).sort(keys)
+        assert np.array_equal(lattice_to_sequence(machine.lattice()), np.sort(keys))
+        ours = ledger.total_rounds
+
+        batcher_sorted, batcher_rounds = bitonic_sort_on_hypercube(keys)
+        assert np.array_equal(batcher_sorted, np.sort(keys))
+
+        paper = hypercube_sort_rounds(r)
+        assert ours == paper - max(0, r - 2)
+        assert batcher_rounds == batcher_hypercube_rounds(r)
+        print(f"{r:>3} {2**r:>6} {paper:>13} {ours:>15} {batcher_rounds:>18} "
+              f"{ours / batcher_rounds:>6.2f}")
+
+    print("\nBoth curves are Theta(r^2); Batcher's constant is ~8x smaller —")
+    print("the price of an algorithm that also runs, unchanged, on grids, tori,")
+    print("Petersen cubes, de Bruijn products and any other product network.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The paper's worked example, reproduced state by state (Figs. 12-15).
+
+Nancy Eleser's running example from the paper: three sorted sequences of
+nine keys each, stored on the three ``[u]PG^3_2`` subgraphs of a
+3-dimensional product (N = 3), merged by the multiway-merge algorithm.
+Every printed grid matches the corresponding figure of the paper, including
+the two key exchanges called out in the Fig. 15 captions.
+
+Run:  python examples/worked_example.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import path_graph
+from repro.core.lattice_sort import ProductNetworkSorter
+from repro.core.multiway_merge import distribute, multiway_merge
+from repro.orders import lattice_to_sequence, sequence_to_lattice
+
+A = {
+    0: [0, 4, 4, 5, 5, 7, 8, 8, 9],
+    1: [1, 4, 5, 5, 5, 6, 7, 7, 8],
+    2: [0, 0, 1, 1, 1, 2, 3, 4, 9],
+}
+
+FIGURE_FOR_EVENT = {
+    "merge3_after_step2": "Fig. 13b — after Step 2: columns merged into C_v",
+    "merge3_after_step3": "Fig. 14 — after Step 3 (pure reinterpretation: no data moved)",
+    "merge3_step4_sorted": "Fig. 15a — Step 4: blocks sorted in alternating directions",
+    "merge3_step4_transposition0": "Fig. 15b — first odd-even block transposition",
+    "merge3_step4_transposition1": "Fig. 15c — second odd-even block transposition",
+    "merge3_step4_final": "Fig. 15d — final block sorts: merge complete",
+}
+
+
+def show(lattice: np.ndarray, caption: str) -> None:
+    print(f"\n--- {caption} ---")
+    for u in range(3):
+        print(f"  [{u}]PG_2   " + "   ".join(" ".join(f"{x}" for x in row) for row in lattice[u]))
+
+
+def main() -> None:
+    print("Paper worked example: merge three sorted 9-key sequences on PG_3 of a 3-node factor")
+
+    # Fig. 12 top: each A_u snake-ordered on its [u]PG^3_2 subgraph
+    lattice = np.stack([sequence_to_lattice(np.array(A[u]), 3, 2) for u in range(3)])
+    show(lattice, "Fig. 12 — initial: A_u in snake order on [u]PG^3_2")
+
+    # Fig. 12 bottom: Step 1 is free; reading column v gives B_{u,v}
+    print("\nStep 1 (no data movement): the B_{u,v} subsequences are already in place:")
+    for u in range(3):
+        print(f"  A_{u} -> B_{u},v = {distribute(A[u], 3)}")
+
+    sorter = ProductNetworkSorter.for_factor(path_graph(3), 3)
+    states: dict[str, np.ndarray] = {}
+    merged, ledger = sorter.merge_sorted_subgraphs(
+        lattice, trace=lambda e, lat: states.update({e: lat})
+    )
+
+    for event, caption in FIGURE_FOR_EVENT.items():
+        show(states[event], caption)
+
+    print("\nFig. 15b check: keys 3 and 2 moved from nodes (1,2,1),(1,2,2) "
+          "to (0,2,1),(0,2,2), displacing two 4s:",
+          states["merge3_step4_transposition0"][0, 2, 1],
+          states["merge3_step4_transposition0"][0, 2, 2])
+    print("Fig. 15c check: key 5 at (2,0,0) exchanged with 6 at (1,0,0):",
+          states["merge3_step4_transposition1"][1, 0, 0],
+          states["merge3_step4_transposition1"][2, 0, 0])
+
+    final = list(lattice_to_sequence(merged))
+    print(f"\nsnake sequence of the merged lattice:\n  {final}")
+    assert final == sorted(A[0] + A[1] + A[2])
+    assert final == multiway_merge([A[0], A[1], A[2]])  # sequence level agrees
+    print(f"\ncost: {ledger}")
+    print("Lemma 3 at k=3: M_3 = 3*S_2 + 2*R  "
+          f"(3 two-dimensional sorts, 2 routings — exactly what the ledger shows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim so the package installs in environments without the ``wheel`` module.
+
+``pip install -e .`` needs ``wheel`` for PEP-517 editable builds; on offline
+boxes without it, ``python setup.py develop`` (or ``pip install -e .
+--no-build-isolation`` once wheel is present) achieves the same result.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

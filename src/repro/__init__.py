@@ -1,0 +1,99 @@
+"""repro — Generalized parallel sorting on product networks.
+
+A full reproduction of Fernandez & Efe, *Generalized Algorithm for Parallel
+Sorting on Product Networks* (ICPP 1995 / IEEE TPDS).  The package provides:
+
+* the multiway-merge sorting algorithm at three fidelity levels — pure
+  sequence level (§3), NumPy lattice level with exact cost accounting (§4),
+  and a fine-grained synchronous network-machine simulation;
+* the product-network substrate: factor graphs, homogeneous products,
+  N-ary Gray-code snake orders, embeddings and permutation routing;
+* two-dimensional sorters (``S_2(N)``) for every §5 network family;
+* the baselines the paper compares against (Batcher odd-even merge, bitonic
+  sort, Leighton's Columnsort);
+* closed-form complexity predictions (Lemma 3 / Theorem 1 / Corollary / §5)
+  for checking measured costs against the paper.
+
+Quickstart::
+
+    import numpy as np
+    from repro import path_graph, ProductNetworkSorter
+
+    sorter = ProductNetworkSorter.for_factor(path_graph(4), r=3)
+    keys = np.random.default_rng(0).integers(0, 100, size=sorter.network.num_nodes)
+    lattice, cost = sorter.sort_sequence(keys)
+    # `lattice` holds the keys snake-sorted on the 4x4x4 grid;
+    # `cost` breaks down S2/routing rounds per Lemma 3 / Theorem 1.
+"""
+
+from .graphs import (
+    FactorGraph,
+    ProductGraph,
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    de_bruijn_graph,
+    k2,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+    shuffle_exchange_graph,
+    star_graph,
+    wheel_graph,
+)
+from .orders import (
+    gray_rank,
+    gray_sequence,
+    gray_unrank,
+    is_snake_sorted,
+    lattice_to_sequence,
+    sequence_to_lattice,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FactorGraph",
+    "ProductGraph",
+    "complete_binary_tree",
+    "complete_graph",
+    "cycle_graph",
+    "de_bruijn_graph",
+    "k2",
+    "path_graph",
+    "petersen_graph",
+    "random_connected_graph",
+    "shuffle_exchange_graph",
+    "star_graph",
+    "wheel_graph",
+    "gray_rank",
+    "gray_sequence",
+    "gray_unrank",
+    "is_snake_sorted",
+    "lattice_to_sequence",
+    "sequence_to_lattice",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    """Lazily expose the heavier core/baseline entry points.
+
+    Keeps ``import repro`` light while still letting users write
+    ``repro.ProductNetworkSorter`` etc. without extra imports.
+    """
+    lazy = {
+        "ProductNetworkSorter": ("repro.core.lattice_sort", "ProductNetworkSorter"),
+        "multiway_merge": ("repro.core.multiway_merge", "multiway_merge"),
+        "multiway_merge_sort": ("repro.core.sorting", "multiway_merge_sort"),
+        "MachineSorter": ("repro.core.machine_sort", "MachineSorter"),
+        "batcher_odd_even_merge_sort": ("repro.baselines.batcher", "odd_even_merge_sort"),
+        "bitonic_sort": ("repro.baselines.batcher", "bitonic_sort"),
+        "columnsort": ("repro.baselines.columnsort", "columnsort"),
+    }
+    if name in lazy:
+        import importlib
+
+        module, attr = lazy[name]
+        return getattr(importlib.import_module(module), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,58 @@
+"""Closed-form predictions (Lemma 3 / Theorem 1 / Corollary / §5) and the
+predicted-vs-measured table machinery behind the benchmarks and the CLI."""
+
+from .complexity import (
+    NetworkPrediction,
+    corollary_bound,
+    grid_sort_rounds,
+    hypercube_sort_rounds,
+    merge_rounds,
+    merge_routing_calls,
+    merge_s2_calls,
+    network_prediction,
+    sort_rounds,
+    sort_routing_calls,
+    sort_s2_calls,
+    torus_sort_rounds,
+)
+from .scaling import (
+    PowerLawFit,
+    doubling_ratio,
+    fit_polylog,
+    fit_power_law,
+    growth_exponent,
+)
+from .tables import (
+    MeasuredRow,
+    format_markdown_table,
+    ledger_breakdown,
+    measure_sort,
+    render_table,
+    section5_rows,
+)
+
+__all__ = [
+    "NetworkPrediction",
+    "corollary_bound",
+    "grid_sort_rounds",
+    "hypercube_sort_rounds",
+    "merge_rounds",
+    "merge_routing_calls",
+    "merge_s2_calls",
+    "network_prediction",
+    "sort_rounds",
+    "sort_routing_calls",
+    "sort_s2_calls",
+    "torus_sort_rounds",
+    "PowerLawFit",
+    "doubling_ratio",
+    "fit_polylog",
+    "fit_power_law",
+    "growth_exponent",
+    "MeasuredRow",
+    "format_markdown_table",
+    "ledger_breakdown",
+    "measure_sort",
+    "render_table",
+    "section5_rows",
+]

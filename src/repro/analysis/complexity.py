@@ -1,0 +1,173 @@
+"""Closed-form running-time predictions (Lemma 3, Theorem 1, Corollary, §5).
+
+Every formula the paper states about the algorithm's cost, as executable
+functions, so benchmarks can put *predicted* next to *measured*:
+
+* :func:`merge_rounds` — Lemma 3: ``M_k = 2(k-2)(S_2 + R) + S_2``;
+* :func:`sort_rounds` — Theorem 1:
+  ``S_r = (r-1)^2 S_2 + (r-1)(r-2) R``;
+* :func:`merge_s2_calls` / :func:`merge_routing_calls` /
+  :func:`sort_s2_calls` / :func:`sort_routing_calls` — the call-structure
+  the ledgers must match exactly;
+* :func:`corollary_bound` — the universal ``18(r-1)^2 N + o(r^2 N)``;
+* :func:`network_prediction` — one §5 row: the right ``S_2``/``R`` plugged
+  into Theorem 1 for a given factor;
+* :func:`hypercube_sort_rounds` — §5.3's ``3(r-1)^2 + (r-1)(r-2)``;
+* :func:`grid_sort_rounds` — §5.1's ``<= 4(r-1)^2 N + o(r^2 N)`` with the
+  explicit ``S_2 = 3N + o(N)``, ``R = N-1`` constants;
+* :func:`torus_sort_rounds` — the Corollary's ``3(r-1)^2 N + o(r^2 N)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs.base import FactorGraph
+from ..sorters2d.analytic import (
+    kunde_torus_model,
+    schnorr_shamir_model,
+    sorter_for_factor,
+)
+from ..sorters2d.base import PublishedRoutingModel, RoutingModel, TwoDimSorterModel
+
+__all__ = [
+    "merge_rounds",
+    "sort_rounds",
+    "merge_s2_calls",
+    "merge_routing_calls",
+    "sort_s2_calls",
+    "sort_routing_calls",
+    "hypercube_sort_rounds",
+    "grid_sort_rounds",
+    "torus_sort_rounds",
+    "corollary_bound",
+    "NetworkPrediction",
+    "network_prediction",
+]
+
+
+def merge_s2_calls(k: int) -> int:
+    """Two-dimensional sorts per ``M_k`` merge: ``2(k-2) + 1``."""
+    if k < 2:
+        raise ValueError("merging needs k >= 2")
+    return 2 * (k - 2) + 1
+
+
+def merge_routing_calls(k: int) -> int:
+    """Routing steps per ``M_k`` merge: ``2(k-2)``."""
+    if k < 2:
+        raise ValueError("merging needs k >= 2")
+    return 2 * (k - 2)
+
+
+def merge_rounds(k: int, s2: int, routing: int) -> int:
+    """Lemma 3: ``M_k(N) = 2(k-2)(S_2(N) + R(N)) + S_2(N)``."""
+    return merge_s2_calls(k) * s2 + merge_routing_calls(k) * routing
+
+
+def sort_s2_calls(r: int) -> int:
+    """Two-dimensional sorts per full sort: ``(r-1)**2`` (Theorem 1)."""
+    if r < 2:
+        raise ValueError("the algorithm sorts for r >= 2")
+    return (r - 1) ** 2
+
+
+def sort_routing_calls(r: int) -> int:
+    """Routing steps per full sort: ``(r-1)(r-2)`` (Theorem 1)."""
+    if r < 2:
+        raise ValueError("the algorithm sorts for r >= 2")
+    return (r - 1) * (r - 2)
+
+
+def sort_rounds(r: int, s2: int, routing: int) -> int:
+    """Theorem 1: ``S_r(N) = (r-1)^2 S_2(N) + (r-1)(r-2) R(N)``.
+
+    Equals ``S_2 + sum_{k=3..r} M_k`` — the derivation in the proof — which
+    the tests verify against :func:`merge_rounds`.
+    """
+    return sort_s2_calls(r) * s2 + sort_routing_calls(r) * routing
+
+
+def hypercube_sort_rounds(r: int) -> int:
+    """§5.3: sorting ``2**r`` keys on the r-cube takes
+    ``3(r-1)^2 + (r-1)(r-2)`` rounds (``S_2 = 3``, ``R = 1``)."""
+    return sort_rounds(r, 3, 1)
+
+
+def grid_sort_rounds(n: int, r: int, include_lower_order: bool = True) -> int:
+    """§5.1: ``(r-1)^2 (3N + o(N)) + (r-1)(r-2)(N-1) <= 4(r-1)^2 N + o(r^2 N)``."""
+    s2 = schnorr_shamir_model(include_lower_order).rounds(n)
+    return sort_rounds(r, s2, n - 1)
+
+
+def torus_sort_rounds(n: int, r: int, include_lower_order: bool = True) -> int:
+    """Corollary (torus case): ``(r-1)^2 (2.5N + o(N)) + (r-1)(r-2) N/2
+    <= 3(r-1)^2 N + o(r^2 N)``."""
+    s2 = kunde_torus_model(include_lower_order).rounds(n)
+    return sort_rounds(r, s2, n // 2)
+
+
+def corollary_bound(n: int, r: int) -> int:
+    """The universal headline bound: ``18 (r-1)^2 N`` (leading term).
+
+    Any connected factor sorts within this, via the dilation-3/congestion-2
+    torus emulation (slowdown 6) of the ``3(r-1)^2 N`` torus cost.
+    """
+    if r < 2 or n < 2:
+        raise ValueError("need r >= 2 and N >= 2")
+    return 18 * (r - 1) ** 2 * n
+
+
+@dataclass(frozen=True)
+class NetworkPrediction:
+    """One §5 row: models chosen for a factor and the predicted cost."""
+
+    factor_name: str
+    n: int
+    r: int
+    s2_model: str
+    s2_rounds: int
+    routing_model: str
+    routing_rounds: int
+    total_rounds: int
+    #: the §5 asymptotic claim this instantiates
+    asymptotic: str
+
+
+def network_prediction(
+    factor: FactorGraph,
+    r: int,
+    s2_model: TwoDimSorterModel | None = None,
+    routing_model: RoutingModel | None = None,
+) -> NetworkPrediction:
+    """Instantiate Theorem 1 for a factor with the §5-appropriate models.
+
+    This mirrors exactly the defaults of
+    :class:`~repro.core.lattice_sort.ProductNetworkSorter`, so
+    ``network_prediction(g, r).total_rounds`` equals the ledger total of a
+    real run — the headline reproduction check.
+    """
+    s2_model = s2_model if s2_model is not None else sorter_for_factor(factor)
+    routing_model = routing_model if routing_model is not None else PublishedRoutingModel(factor)
+    n = factor.n
+    s2 = s2_model.rounds(n)
+    routing = routing_model.rounds(n)
+    if n == 2:
+        asymptotic = "O(r^2)  [§5.3 hypercube]"
+    elif factor.name.startswith("debruijn") or factor.name.startswith("shuffle-exchange"):
+        asymptotic = "O(r^2 log^2 N)  [§5.5]"
+    elif factor.hamiltonian_path is not None:
+        asymptotic = "O(r^2 N)  [§5.1/Corollary]"
+    else:
+        asymptotic = "O(r^2 N)  [Corollary via emulation]"
+    return NetworkPrediction(
+        factor_name=factor.name,
+        n=n,
+        r=r,
+        s2_model=s2_model.name,
+        s2_rounds=s2,
+        routing_model=routing_model.name,
+        routing_rounds=routing,
+        total_rounds=sort_rounds(r, s2, routing),
+        asymptotic=asymptotic,
+    )

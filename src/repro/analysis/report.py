@@ -1,0 +1,143 @@
+"""Programmatic regeneration of the paper-vs-measured report.
+
+``python -m repro report`` (or :func:`generate_report`) re-runs the key
+measurements behind EXPERIMENTS.md and emits a fresh markdown document —
+the reproducibility loop closed: the committed EXPERIMENTS.md was produced
+by exactly this code path, and any reader can diff a regenerated copy
+against it.
+
+Kept intentionally lighter than the full benchmark suite (seconds, not
+minutes): each section runs one representative sweep.  For the
+full-strength assertions run ``pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.complexity import hypercube_sort_rounds, sort_rounds
+from ..analysis.tables import format_markdown_table, section5_rows
+from ..baselines.batcher import batcher_hypercube_rounds, bitonic_sort_on_hypercube
+from ..core.machine_sort import MachineSorter
+from ..core.multiway_merge import multiway_merge
+from ..core.verification import measure_dirty_area, zero_one_merge_inputs
+from ..graphs import (
+    complete_binary_tree,
+    cycle_graph,
+    de_bruijn_graph,
+    k2,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+)
+from ..orders import lattice_to_sequence
+
+__all__ = ["generate_report"]
+
+
+def _section_lemma1(max_n: int) -> str:
+    rows = []
+    for n in range(2, max_n + 1):
+        worst = 0
+        for seqs in zero_one_merge_inputs(n, n * n):
+            captured = {}
+            multiway_merge(seqs, trace=lambda e, p: captured.update({e: p}))
+            worst = max(worst, measure_dirty_area(captured["step3_D"]))
+        rows.append([n, n * n, worst, "tight" if worst == n * n else "slack"])
+    table = format_markdown_table(["N", "bound N^2", "worst dirty seen", "status"], rows)
+    return (
+        "## Lemma 1 — dirty area after Step 3 (exhaustive 0-1 sweep)\n\n"
+        + table
+        + "\n\nBound holds and is attained: Step 4's clean-up is necessary.\n"
+    )
+
+
+def _section_theorem1(seed: int) -> str:
+    instances = [
+        (path_graph(4), 3),
+        (cycle_graph(4), 3),
+        (k2(), 5),
+        (petersen_graph().canonically_labelled(), 2),
+        (complete_binary_tree(2), 3),
+        (de_bruijn_graph(3), 3),
+        (random_connected_graph(5, seed=seed), 3),
+    ]
+    rows = []
+    all_ok = True
+    for row in section5_rows(instances, seed=seed):
+        p = row.prediction
+        ok = row.sorted_ok and row.matches_theorem1
+        all_ok &= ok
+        rows.append(
+            [p.factor_name, p.n, p.r, p.s2_model, p.s2_rounds, p.routing_rounds,
+             p.total_rounds, row.measured_rounds, "exact" if ok else "MISMATCH"]
+        )
+    table = format_markdown_table(
+        ["network", "N", "r", "S2 model", "S2", "R", "predicted", "measured", "match"], rows
+    )
+    verdict = "Every row matches Theorem 1 exactly." if all_ok else "MISMATCHES FOUND."
+    return "## Theorem 1 / §5 — predicted vs measured rounds\n\n" + table + f"\n\n{verdict}\n"
+
+
+def _section_hypercube(max_r: int, seed: int) -> str:
+    rng = np.random.default_rng(seed)
+    rows = []
+    for r in range(2, max_r + 1):
+        keys = rng.integers(0, 2**28, size=2**r)
+        machine, ledger = MachineSorter.for_factor(k2(), r).sort(keys)
+        assert np.all(np.diff(lattice_to_sequence(machine.lattice())) >= 0)
+        _, batcher_rounds = bitonic_sort_on_hypercube(keys)
+        rows.append(
+            [r, 2**r, hypercube_sort_rounds(r), ledger.total_rounds,
+             batcher_rounds, f"{ledger.total_rounds / batcher_rounds:.2f}"]
+        )
+        assert batcher_rounds == batcher_hypercube_rounds(r)
+    table = format_markdown_table(
+        ["r", "keys", "paper 3(r-1)^2+(r-1)(r-2)", "ours measured", "batcher", "ratio"], rows
+    )
+    return (
+        "## §5.3 — hypercube vs Batcher (measured on the same machine)\n\n"
+        + table
+        + "\n\nMeasured = paper - (r-2): with N = 2 the second Step-4 "
+        "transposition is vacuous.  Both curves are Theta(r^2).\n"
+    )
+
+
+def _section_grid(seed: int) -> str:
+    from ..core.lattice_sort import ProductNetworkSorter
+
+    rng = np.random.default_rng(seed)
+    rows = []
+    for n in (4, 8, 16):
+        sorter = ProductNetworkSorter.for_factor(path_graph(n), 3, keep_log=False)
+        keys = rng.integers(0, 2**28, size=n**3)
+        lattice, ledger = sorter.sort_sequence(keys)
+        assert np.all(np.diff(lattice_to_sequence(lattice)) >= 0)
+        s2 = sorter.sorter2d.rounds(n)
+        routing = sorter.routing.rounds(n)
+        assert ledger.total_rounds == sort_rounds(3, s2, routing)
+        rows.append([n, n**3, ledger.total_rounds, f"{ledger.total_rounds / n:.1f}"])
+    table = format_markdown_table(["N", "keys", "rounds", "rounds/N"], rows)
+    return (
+        "## §5.1 — grids at fixed r = 3: linear in N\n\n"
+        + table
+        + "\n\nrounds/N converges to the leading constant 14 (+o(1)): O(N), optimal.\n"
+    )
+
+
+def generate_report(seed: int = 0, max_n_lemma1: int = 3, max_r_hypercube: int = 7) -> str:
+    """Build the full markdown report; every number is measured on the spot."""
+    header = (
+        "# Reproduction report (regenerated)\n\n"
+        "Produced by `python -m repro report` — every number below was "
+        "measured by the current build.  Compare with the committed "
+        "EXPERIMENTS.md.\n"
+    )
+    sections = [
+        header,
+        _section_lemma1(max_n_lemma1),
+        _section_theorem1(seed),
+        _section_grid(seed),
+        _section_hypercube(max_r_hypercube, seed),
+    ]
+    return "\n".join(sections)

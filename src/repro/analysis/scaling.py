@@ -1,0 +1,88 @@
+"""Empirical growth-rate estimation for shape assertions.
+
+The paper's claims are asymptotic (``O(N)`` at fixed r, ``O(r^2)`` at fixed
+N, ``O(log^2 N)`` for de Bruijn products).  Benchmarks verify them by
+sweeping a parameter and fitting the measured round counts:
+
+* :func:`fit_power_law` — least squares on ``log y ~ a log x + b``; the
+  slope ``a`` is the empirical exponent (1 for linear-in-N grids, 2 for
+  quadratic-in-r hypercubes);
+* :func:`growth_exponent` — the slope alone;
+* :func:`fit_polylog` — fit ``y ~ c * (log2 x)**p`` for the logarithmic
+  families, returning ``p``;
+* :func:`doubling_ratio` — mean ratio ``y(2x)/y(x)`` over a geometric
+  sweep (2 for linear growth, 4 for quadratic, ~1+ for polylog).
+
+All fits are deliberately simple (two-parameter least squares); they are
+shape detectors for monotone, noise-free round counts, not statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PowerLawFit", "fit_power_law", "growth_exponent", "fit_polylog", "doubling_ratio"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of fitting ``y = coefficient * x**exponent``."""
+
+    exponent: float
+    coefficient: float
+    #: coefficient of determination of the log-log regression
+    r_squared: float
+
+
+def _validate(xs: Sequence[float], ys: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two matching (x, y) points")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fits need positive data")
+    return x, y
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y = c * x**a`` by least squares in log-log space."""
+    x, y = _validate(xs, ys)
+    lx, ly = np.log(x), np.log(y)
+    a, b = np.polyfit(lx, ly, 1)
+    pred = a * lx + b
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(exponent=float(a), coefficient=float(math.exp(b)), r_squared=r2)
+
+
+def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The empirical exponent of ``y`` as a power of ``x``."""
+    return fit_power_law(xs, ys).exponent
+
+
+def fit_polylog(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Fit ``y = c * (log2 x)**p``; return the exponent ``p``.
+
+    Requires every ``x > 1`` (so ``log2 x > 0``)."""
+    x, y = _validate(xs, ys)
+    if np.any(x <= 1):
+        raise ValueError("polylog fits need x > 1")
+    return growth_exponent(np.log2(x), y)
+
+
+def doubling_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Mean ``y(2x)/y(x)`` over consecutive points of a geometric-2 sweep.
+
+    Validates that consecutive ``x`` really double (within 1%)."""
+    x, y = _validate(xs, ys)
+    ratios = []
+    for i in range(x.size - 1):
+        if abs(x[i + 1] / x[i] - 2.0) > 0.01:
+            raise ValueError("doubling_ratio needs a geometric-2 sweep of x")
+        ratios.append(y[i + 1] / y[i])
+    return float(np.mean(ratios))

@@ -1,0 +1,49 @@
+"""Baselines the paper compares its algorithm against.
+
+* :mod:`repro.baselines.batcher` — Batcher's odd-even merge and bitonic
+  networks (ref [2]; §5.3's hypercube yardstick);
+* :mod:`repro.baselines.columnsort` — Leighton's Columnsort (ref [20];
+  §1's multiway-merge competitor);
+* :mod:`repro.baselines.transposition` — odd-even transposition sort
+  (linear-array baseline);
+* :mod:`repro.baselines.shearsort_seq` — sequence-level shearsort
+  (2D-mesh baseline).
+"""
+
+from .batcher import (
+    apply_network,
+    batcher_hypercube_rounds,
+    bitonic_sort,
+    bitonic_sort_network,
+    bitonic_sort_on_hypercube,
+    network_depth,
+    network_size,
+    odd_even_merge_network,
+    odd_even_merge_sort,
+    odd_even_merge_sort_network,
+)
+from .columnsort import ColumnsortStats, columnsort, minimal_rows, valid_shape
+from .shearsort_seq import ShearsortStats, shearsort, snake_of_mesh
+from .transposition import TranspositionStats, odd_even_transposition_sort
+
+__all__ = [
+    "apply_network",
+    "batcher_hypercube_rounds",
+    "bitonic_sort",
+    "bitonic_sort_network",
+    "bitonic_sort_on_hypercube",
+    "network_depth",
+    "network_size",
+    "odd_even_merge_network",
+    "odd_even_merge_sort",
+    "odd_even_merge_sort_network",
+    "ColumnsortStats",
+    "columnsort",
+    "minimal_rows",
+    "valid_shape",
+    "ShearsortStats",
+    "shearsort",
+    "snake_of_mesh",
+    "TranspositionStats",
+    "odd_even_transposition_sort",
+]

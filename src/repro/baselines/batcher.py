@@ -1,0 +1,195 @@
+"""Batcher's sorting networks (the paper's primary baseline, ref [2]).
+
+The paper's algorithm generalizes Batcher's odd-even merge; §5.3 observes
+that on the hypercube "Batcher algorithm is a special case of our
+algorithm" and that both run in ``O(r**2)`` rounds.  This module provides:
+
+* the **odd-even merge sort** and **bitonic sort** comparator networks for
+  any power-of-two width, with exact comparator counts and depths (the
+  quantities the comparison benchmarks report);
+* plain sequence-level application of the networks (a correct sorter used
+  as a reference and in property tests);
+* :func:`bitonic_sort_on_hypercube` — Batcher's bitonic sort executed on the
+  fine-grained :class:`~repro.machine.machine.NetworkMachine` over an
+  r-dimensional hypercube: every stage compares along one cube dimension,
+  giving the classic ``r(r+1)/2`` rounds to sort ``2**r`` keys into
+  index (binary) order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from functools import lru_cache
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "odd_even_merge_network",
+    "odd_even_merge_sort_network",
+    "bitonic_sort_network",
+    "apply_network",
+    "network_depth",
+    "network_size",
+    "odd_even_merge_sort",
+    "bitonic_sort",
+    "batcher_hypercube_rounds",
+    "bitonic_sort_on_hypercube",
+]
+
+#: a comparator network: list of stages; each stage a list of (i, j) pairs
+#: with i < j meaning "min to i, max to j"; pairs in a stage are disjoint.
+Network = list[list[tuple[int, int]]]
+
+
+def _require_power_of_two(n: int) -> int:
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"Batcher networks require a power-of-two width, got {n}")
+    return n.bit_length() - 1
+
+
+@lru_cache(maxsize=32)
+def odd_even_merge_network(n: int) -> tuple[tuple[tuple[int, int], ...], ...]:
+    """Batcher's odd-even merge of two sorted halves of ``n`` inputs.
+
+    Input: positions ``0..n/2-1`` and ``n/2..n-1`` each sorted.  Built by
+    the classic recursion: merge the even-indexed and odd-indexed
+    subsequences, then compare-exchange neighbours ``(2i+1, 2i+2)``.
+    Depth ``lg n``, size ``(n/2)(lg n - 1) + 1`` comparators.
+    """
+    _require_power_of_two(n)
+    if n == 1:
+        return ()
+    if n == 2:
+        return (((0, 1),),)
+
+    half = odd_even_merge_network(n // 2)
+    stages: list[list[tuple[int, int]]] = []
+    for stage in half:
+        merged_stage: list[tuple[int, int]] = []
+        for i, j in stage:
+            merged_stage.append((2 * i, 2 * j))  # even subsequence
+            merged_stage.append((2 * i + 1, 2 * j + 1))  # odd subsequence
+        stages.append(merged_stage)
+    stages.append([(2 * i + 1, 2 * i + 2) for i in range(n // 2 - 1)])
+    return tuple(tuple(stage) for stage in stages)
+
+
+@lru_cache(maxsize=32)
+def odd_even_merge_sort_network(n: int) -> tuple[tuple[tuple[int, int], ...], ...]:
+    """Batcher's full odd-even merge *sorting* network for ``n`` inputs.
+
+    Recursively sort both halves (their stages run in parallel, so they
+    share depth), then apply the odd-even merge.  Depth
+    ``lg n (lg n + 1)/2``.
+    """
+    _require_power_of_two(n)
+    if n == 1:
+        return ()
+    half = odd_even_merge_sort_network(n // 2)
+    stages: list[list[tuple[int, int]]] = []
+    for stage in half:
+        combined = list(stage) + [(i + n // 2, j + n // 2) for i, j in stage]
+        stages.append(combined)
+    stages.extend(list(stage) for stage in odd_even_merge_network(n))
+    return tuple(tuple(stage) for stage in stages)
+
+
+@lru_cache(maxsize=32)
+def bitonic_sort_network(n: int) -> tuple[tuple[tuple[int, int], ...], ...]:
+    """Batcher's bitonic sorting network (iterative formulation).
+
+    Stage ``(k, j)`` compares ``i`` with ``i | j`` (for ``i & j == 0``),
+    orienting by the ``i & k`` bit.  Depth ``lg n (lg n + 1)/2``; every
+    stage's comparators span exactly one index bit — which is why the
+    network maps one-to-one onto hypercube dimensions
+    (:func:`bitonic_sort_on_hypercube`).
+    """
+    _require_power_of_two(n)
+    stages: list[list[tuple[int, int]]] = []
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            stage: list[tuple[int, int]] = []
+            for i in range(n):
+                partner = i | j
+                if partner != i and partner < n and i & j == 0:
+                    if i & k == 0:
+                        stage.append((i, partner))  # ascending region
+                    else:
+                        stage.append((partner, i))  # descending region
+            stages.append(stage)
+            j //= 2
+        k *= 2
+    return tuple(tuple(stage) for stage in stages)
+
+
+def apply_network(network: Sequence[Sequence[tuple[int, int]]], keys: Sequence[Any]) -> list[Any]:
+    """Run a comparator network over the keys (min lands at the first index
+    of each pair) and return the result."""
+    out = list(keys)
+    for stage in network:
+        for i, j in stage:
+            if out[j] < out[i]:
+                out[i], out[j] = out[j], out[i]
+    return out
+
+
+def network_depth(network: Sequence[Sequence[tuple[int, int]]]) -> int:
+    """Number of parallel stages."""
+    return len(network)
+
+
+def network_size(network: Sequence[Sequence[tuple[int, int]]]) -> int:
+    """Total number of comparators."""
+    return sum(len(stage) for stage in network)
+
+
+def odd_even_merge_sort(keys: Sequence[Any]) -> list[Any]:
+    """Sort via Batcher's odd-even merge sorting network (power-of-two n)."""
+    return apply_network(odd_even_merge_sort_network(len(keys)), keys)
+
+
+def bitonic_sort(keys: Sequence[Any]) -> list[Any]:
+    """Sort via Batcher's bitonic network (power-of-two n)."""
+    return apply_network(bitonic_sort_network(len(keys)), keys)
+
+
+def batcher_hypercube_rounds(r: int) -> int:
+    """Rounds of Batcher's sort on the r-dimensional hypercube:
+    ``r (r + 1) / 2`` — every network stage is one cube-dimension
+    compare-exchange (§5.3's comparison point)."""
+    if r < 1:
+        raise ValueError("need r >= 1")
+    return r * (r + 1) // 2
+
+
+def bitonic_sort_on_hypercube(keys) -> tuple[np.ndarray, int]:
+    """Execute bitonic sort on the fine-grained hypercube machine.
+
+    ``keys`` are ``2**r`` values, one per node, indexed by the node's binary
+    label.  Every bitonic stage touches a single cube dimension, so each
+    stage is one legal machine round; the function returns the sorted key
+    array (ascending by node index) and the measured rounds —
+    ``r(r+1)/2``, the Batcher yardstick our hypercube benchmark compares
+    against (note the *index* order differs from our snake order; the round
+    counts are what the comparison is about).
+    """
+    from ..graphs.library import k2
+    from ..graphs.product import ProductGraph
+    from ..machine.machine import NetworkMachine
+
+    keys = np.asarray(keys)
+    n = keys.size
+    r = _require_power_of_two(n)
+    net = ProductGraph(k2(), r)
+    machine = NetworkMachine(net, keys)
+
+    def label(i: int) -> tuple[int, ...]:
+        return tuple((i >> (r - 1 - b)) & 1 for b in range(r))
+
+    for stage in bitonic_sort_network(n):
+        pairs = [(label(i), label(j)) for i, j in stage]
+        machine.compare_exchange(pairs)
+    return machine.keys.copy(), machine.rounds

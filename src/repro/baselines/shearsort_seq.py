@@ -1,0 +1,71 @@
+"""Sequence-level shearsort on an ``h x w`` mesh — the 2D mesh baseline.
+
+Sorts ``h*w`` keys into boustrophedon (snake) row-major order by alternating
+row phases (rows sorted in alternating directions) and column phases, for
+``ceil(lg h) + 1`` row phases total.  The classic 0-1 argument: one
+row+column double phase at least halves the number of unsorted ("dirty")
+rows, so ``lg h`` doublings plus a final row phase suffice.
+
+This is the mesh-native yardstick for the comparison benchmarks (our
+algorithm's two-dimensional base case can *be* shearsort; at higher
+dimensions the multiway merge takes over where shearsort has no analogue).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import math
+
+__all__ = ["shearsort", "ShearsortStats", "snake_of_mesh"]
+
+
+@dataclass(frozen=True)
+class ShearsortStats:
+    """Row/column phases run and transposition rounds they contain."""
+
+    row_phases: int
+    column_phases: int
+    #: transposition rounds if rows/columns sort by odd-even transposition
+    transposition_rounds: int
+
+
+def snake_of_mesh(mesh: Sequence[Sequence[Any]]) -> list[Any]:
+    """Read an ``h x w`` mesh in boustrophedon row-major order."""
+    out: list[Any] = []
+    for i, row in enumerate(mesh):
+        out.extend(row if i % 2 == 0 else list(reversed(row)))
+    return out
+
+
+def shearsort(keys: Sequence[Any], height: int, width: int) -> tuple[list[Any], ShearsortStats]:
+    """Shearsort ``height*width`` keys; returns the snake-order reading
+    (fully sorted) and the phase statistics."""
+    if len(keys) != height * width:
+        raise ValueError(f"expected {height * width} keys, got {len(keys)}")
+    mesh = [list(keys[i * width : (i + 1) * width]) for i in range(height)]
+
+    def row_phase() -> None:
+        for i in range(height):
+            mesh[i].sort(reverse=(i % 2 == 1))
+
+    def column_phase() -> None:
+        for j in range(width):
+            col = sorted(mesh[i][j] for i in range(height))
+            for i in range(height):
+                mesh[i][j] = col[i]
+
+    phases = max(1, math.ceil(math.log2(height))) if height > 1 else 1
+    for _ in range(phases):
+        row_phase()
+        column_phase()
+    row_phase()
+
+    stats = ShearsortStats(
+        row_phases=phases + 1,
+        column_phases=phases,
+        transposition_rounds=(phases + 1) * width + phases * height,
+    )
+    return snake_of_mesh(mesh), stats

@@ -1,0 +1,58 @@
+"""Odd-even transposition sort — the linear-array baseline.
+
+The simplest systolic sorter: ``n`` alternating phases of neighbour
+compare-exchanges sort ``n`` keys on an ``n``-node linear array.  It is the
+building block of the executable shearsort and snake sorters and the natural
+baseline for one-dimensional substrates (the diameter bound makes ``n - 1``
+rounds necessary, so it is round-optimal up to one).
+
+Provided at sequence level with phase/comparison counting; the
+machine-executed variant lives in :mod:`repro.machine.primitives`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["odd_even_transposition_sort", "TranspositionStats"]
+
+
+@dataclass(frozen=True)
+class TranspositionStats:
+    """Phases run, comparisons made, and phases until already-sorted."""
+
+    phases: int
+    comparisons: int
+    #: first phase index after which the array was sorted (adaptivity probe)
+    converged_after: int
+
+
+def odd_even_transposition_sort(
+    keys: Sequence[Any], phases: int | None = None
+) -> tuple[list[Any], TranspositionStats]:
+    """Sort by odd-even transposition; returns (sorted list, stats).
+
+    ``phases`` defaults to ``len(keys)``, which the classic theorem
+    guarantees sufficient; fewer phases give the truncated network (used by
+    tests probing the bound's tightness).
+    """
+    out = list(keys)
+    n = len(out)
+    if phases is None:
+        phases = n
+    comparisons = 0
+    converged_after = 0 if all(a <= b for a, b in zip(out, out[1:])) else phases
+    for t in range(phases):
+        swapped = False
+        for i in range(t % 2, n - 1, 2):
+            comparisons += 1
+            if out[i + 1] < out[i]:
+                out[i], out[i + 1] = out[i + 1], out[i]
+                swapped = True
+        if swapped:
+            converged_after = t + 1
+    return out, TranspositionStats(
+        phases=phases, comparisons=comparisons, converged_after=converged_after
+    )

@@ -1,0 +1,196 @@
+"""Command-line experiment runner: ``python -m repro`` / ``repro-experiments``.
+
+Reproduces the paper's evaluation from the shell:
+
+* ``section5`` — the predicted-vs-measured table across all §5 network
+  families (grids, tori, hypercubes, Petersen cubes, de Bruijn products,
+  mesh-connected trees, random connected factors);
+* ``hypercube`` — §5.3 sweep with the Batcher yardstick;
+* ``dirty-area`` — Lemma 1's ``<= N**2`` bound, measured;
+* ``worked-example`` — the Figs. 12-15 walkthrough (delegates to the
+  example script's logic);
+* ``gray`` — print Gray/snake orders for small products (Figs. 3-5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_section5(args: argparse.Namespace) -> int:
+    from .analysis.tables import render_table, section5_rows
+    from .graphs import (
+        complete_binary_tree,
+        cycle_graph,
+        de_bruijn_graph,
+        k2,
+        path_graph,
+        petersen_graph,
+        random_connected_graph,
+    )
+
+    instances = [
+        (path_graph(args.n), 2),
+        (path_graph(args.n), 3),
+        (cycle_graph(max(3, args.n)), 3),
+        (k2(), 4),
+        (k2(), 6),
+        (petersen_graph().canonically_labelled(), 2),
+        (complete_binary_tree(2), 3),
+        (de_bruijn_graph(3), 3),
+        (random_connected_graph(args.n, seed=args.seed), 3),
+    ]
+    rows = section5_rows(instances, seed=args.seed)
+    print(render_table(rows))
+    return 0 if all(r.sorted_ok and r.matches_theorem1 for r in rows) else 1
+
+
+def _cmd_hypercube(args: argparse.Namespace) -> int:
+    from .analysis.complexity import hypercube_sort_rounds
+    from .baselines.batcher import batcher_hypercube_rounds
+    from .core.machine_sort import MachineSorter
+    from .graphs import k2
+    from .orders import lattice_to_sequence
+
+    rng = np.random.default_rng(args.seed)
+    print(f"{'r':>3} {'keys':>8} {'paper 3(r-1)^2+(r-1)(r-2)':>26} {'measured':>9} {'batcher r(r+1)/2':>17}")
+    ok = True
+    for r in range(2, args.max_r + 1):
+        ms = MachineSorter.for_factor(k2(), r)
+        keys = rng.integers(0, 2**31, size=2**r)
+        machine, ledger = ms.sort(keys)
+        sorted_ok = bool(
+            np.array_equal(lattice_to_sequence(machine.lattice()), np.sort(keys))
+        )
+        ok &= sorted_ok
+        print(
+            f"{r:>3} {2**r:>8} {hypercube_sort_rounds(r):>26} {ledger.total_rounds:>9} "
+            f"{batcher_hypercube_rounds(r):>17}{'' if sorted_ok else '  UNSORTED!'}"
+        )
+    return 0 if ok else 1
+
+
+def _cmd_dirty_area(args: argparse.Namespace) -> int:
+    from .core.multiway_merge import multiway_merge
+    from .core.verification import DirtyAreaProbe, zero_one_merge_inputs
+
+    print(f"{'N':>3} {'m':>5} {'bound N^2':>9} {'max dirty seen':>14}")
+    ok = True
+    for n in range(2, args.max_n + 1):
+        m = n * n
+        probe = DirtyAreaProbe()
+        for seqs in zero_one_merge_inputs(n, m):
+            multiway_merge(seqs, trace=probe)
+        print(f"{n:>3} {m:>5} {n * n:>9} {probe.max_dirty:>14}")
+        ok &= probe.max_dirty <= n * n
+    return 0 if ok else 1
+
+
+def _cmd_gray(args: argparse.Namespace) -> int:
+    from .orders import gray_sequence, group_sequence
+
+    seq = gray_sequence(args.n, args.r)
+    print(f"Q_{args.r} over radix {args.n} ({len(seq)} labels):")
+    print("  " + " ".join("".join(map(str, lab)) for lab in seq))
+    if args.r >= 2:
+        groups = group_sequence(args.n, args.r, erased=1)
+        print("group sequence [*]Q^1 (G subgraphs in snake order):")
+        print("  " + " ".join("".join(map(str, g)) + "*" for g in groups))
+    return 0
+
+
+def _cmd_worked_example(args: argparse.Namespace) -> int:
+    from .core.lattice_sort import ProductNetworkSorter
+    from .graphs import path_graph
+    from .orders import lattice_to_sequence, sequence_to_lattice
+
+    a0 = [0, 4, 4, 5, 5, 7, 8, 8, 9]
+    a1 = [1, 4, 5, 5, 5, 6, 7, 7, 8]
+    a2 = [0, 0, 1, 1, 1, 2, 3, 4, 9]
+    lattice = np.stack(
+        [sequence_to_lattice(np.array(a), 3, 2) for a in (a0, a1, a2)]
+    )
+    sorter = ProductNetworkSorter.for_factor(path_graph(3), 3)
+
+    def show(event: str, lat: np.ndarray) -> None:
+        print(f"--- {event} ---")
+        for u in range(3):
+            print(f"  [{u}]PG_2:")
+            for row in lat[u]:
+                print("    " + " ".join(str(x) for x in row))
+
+    print("input: the paper's three sorted sequences on [u]PG^3_2 (Fig. 12)")
+    show("initial", lattice)
+    out, ledger = sorter.merge_sorted_subgraphs(lattice, trace=show)
+    print("snake sequence:", list(lattice_to_sequence(out)))
+    print(ledger)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import generate_report
+
+    text = generate_report(seed=args.seed)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the evaluation of 'Generalized Algorithm for "
+        "Parallel Sorting on Product Networks' (Fernandez & Efe).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("section5", help="predicted-vs-measured table across §5 networks")
+    p.add_argument("--n", type=int, default=4, help="factor size for size-parametric factors")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_section5)
+
+    p = sub.add_parser("hypercube", help="§5.3 sweep with the Batcher yardstick")
+    p.add_argument("--max-r", type=int, default=7)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_hypercube)
+
+    p = sub.add_parser("dirty-area", help="Lemma 1: measured dirty areas vs the N^2 bound")
+    p.add_argument("--max-n", type=int, default=4)
+    p.set_defaults(func=_cmd_dirty_area)
+
+    p = sub.add_parser("gray", help="print Gray/snake orders (Figs. 3-5)")
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--r", type=int, default=3)
+    p.set_defaults(func=_cmd_gray)
+
+    p = sub.add_parser("worked-example", help="the Figs. 12-15 walkthrough")
+    p.set_defaults(func=_cmd_worked_example)
+
+    p = sub.add_parser(
+        "report", help="regenerate the paper-vs-measured markdown report"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", type=str, default=None, help="write to a file instead of stdout")
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""The paper's primary contribution: multiway-merge sorting (§3-§4).
+
+Three fidelity levels of the same algorithm:
+
+* :mod:`repro.core.multiway_merge` / :mod:`repro.core.sorting` — pure
+  sequence level (§3): the executable specification;
+* :mod:`repro.core.lattice_sort` — NumPy lattices with exact §4.1 cost
+  accounting: the production backend reproducing Lemma 3 / Theorem 1;
+* :mod:`repro.core.machine_sort` — every compare-exchange issued through the
+  simulated machine: the validation backend with *measured* costs.
+
+:mod:`repro.core.verification` instruments Lemma 1 (dirty areas) and powers
+the zero-one-principle exhaustive tests.
+"""
+
+from .adaptive import AdaptiveProductNetworkSorter
+from .lattice_sort import ProductNetworkSorter, SortOutcome
+from .machine_sort import MachineSorter
+from .network_builder import (
+    WireNetwork,
+    batcher_base,
+    multiway_merge_network,
+    multiway_sort_network,
+    transposition_base,
+)
+from .multiway_merge import (
+    clean_dirty_area,
+    default_sort2,
+    distribute,
+    interleave,
+    multiway_merge,
+)
+from .sorting import multiway_merge_sort, required_order
+from .verification import (
+    DirtyAreaProbe,
+    is_sorted,
+    max_displacement,
+    measure_dirty_area,
+    zero_one_merge_inputs,
+    zero_one_sequences,
+)
+
+__all__ = [
+    "AdaptiveProductNetworkSorter",
+    "ProductNetworkSorter",
+    "SortOutcome",
+    "MachineSorter",
+    "multiway_merge",
+    "multiway_merge_sort",
+    "WireNetwork",
+    "batcher_base",
+    "multiway_merge_network",
+    "multiway_sort_network",
+    "transposition_base",
+    "required_order",
+    "distribute",
+    "interleave",
+    "clean_dirty_area",
+    "default_sort2",
+    "DirtyAreaProbe",
+    "is_sorted",
+    "max_displacement",
+    "measure_dirty_area",
+    "zero_one_merge_inputs",
+    "zero_one_sequences",
+]

@@ -1,0 +1,228 @@
+"""The multiway-merge algorithm, sequence level (paper §3.1).
+
+Merges ``N`` sorted sequences of ``m = N**(k-1)`` keys each (``k >= 3``)
+into one sorted sequence of ``N**k`` keys, using only
+
+* order-preserving redistributions (Steps 1 and 3 — free on a product
+  network, §4),
+* recursive column merges (Step 2), and
+* a black-box sorter for ``N**2`` keys plus two odd-even block
+  transpositions (Step 4 — the clean-up whose correctness rests on
+  Lemmas 1 and 2).
+
+This module is deliberately network-agnostic: it manipulates Python
+sequences and is the executable specification against which the lattice and
+machine implementations are cross-checked.  A ``trace`` hook exposes every
+intermediate state (the ``B``, ``C``, ``D``, ``E/F/G/H/I`` stages of
+Figs. 6-11) for tests, the dirty-area instrumentation of Lemma 1 and the
+worked example of Figs. 12-15.
+
+Step 4 is implemented in the paper's *global* formulation: blocks ``E_z`` of
+``N**2`` consecutive keys are sorted nondecreasing for even ``z`` and
+nonincreasing for odd ``z``, two elementwise odd-even transposition steps
+run between adjacent blocks (minima toward the lower block; pairs
+``(even, even+1)`` first, then ``(odd, odd+1)``, matching §4's
+"odd subgraphs compare with their predecessors first"), and a final
+ascending sort of every block yields the sorted result.  The network
+implementation performs the same data movement expressed in each block's
+local snake order; tests assert the two agree state by state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+__all__ = [
+    "multiway_merge",
+    "distribute",
+    "interleave",
+    "clean_dirty_area",
+    "default_sort2",
+]
+
+#: signature of the assumed N^2-key sorter: takes the keys, returns them sorted
+Sort2 = Callable[[list[Any]], list[Any]]
+#: optional observer: trace(event_name, payload)
+Trace = Callable[[str, Any], None] | None
+#: optional compare-exchange override: (a, b) -> (low, high).  Defaults to the
+#: plain swap ``(min, max)``; the bulk extension passes a merge-split so each
+#: "key" can itself be a sorted run (Knuth's classic lifting: any oblivious
+#: compare-exchange schedule stays correct when compare-exchange is replaced
+#: by merge-split over pre-sorted runs).
+Exchange = Callable[[Any, Any], tuple[Any, Any]]
+
+
+def _swap_exchange(a: Any, b: Any) -> tuple[Any, Any]:
+    """Default compare-exchange: route the smaller atom to the low side."""
+    return (b, a) if b < a else (a, b)
+
+
+def default_sort2(keys: list[Any]) -> list[Any]:
+    """The reference ``N**2``-key sorter: Python's sort (any correct sorter
+    yields the same data; cost modelling happens in the network backends)."""
+    return sorted(keys)
+
+
+def _validate_inputs(sequences: Sequence[Sequence[Any]]) -> tuple[int, int]:
+    n = len(sequences)
+    if n < 2:
+        raise ValueError("need at least two sequences to merge")
+    m = len(sequences[0])
+    if any(len(s) != m for s in sequences):
+        raise ValueError("all sequences must have equal length")
+    if m < n * n:
+        raise ValueError(
+            f"multiway merge needs sequences of length >= N^2 (N={n}, got m={m}); "
+            "§3.2: the merge makes no progress below that — sort directly instead"
+        )
+    # m must be a power of n (m = N^(k-1))
+    mm = m
+    while mm % n == 0:
+        mm //= n
+    if mm != 1:
+        raise ValueError(f"sequence length m={m} must be a power of N={n}")
+    return n, m
+
+
+def distribute(sequence: Sequence[Any], n: int) -> list[list[Any]]:
+    """Step 1: split one sorted sequence into ``n`` sorted subsequences.
+
+    Writes the keys into an ``(m/n) x n`` array in snake (boustrophedon)
+    order and reads column ``v`` top-to-bottom: ``B_v`` gets the keys at
+    positions ``v, 2n-v-1, 2n+v, 4n-v-1, ...`` — each subsequence keeps the
+    original relative order, hence stays sorted.
+
+    >>> distribute([1, 2, 3, 4, 5, 6, 7, 8, 9], 3)
+    [[1, 6, 7], [2, 5, 8], [3, 4, 9]]
+    """
+    if len(sequence) % n != 0:
+        raise ValueError("sequence length must be divisible by N")
+    columns: list[list[Any]] = [[] for _ in range(n)]
+    for idx, key in enumerate(sequence):
+        row, col = divmod(idx, n)
+        if row % 2 == 1:
+            col = n - 1 - col
+        columns[col].append(key)
+    return columns
+
+
+def interleave(columns: Sequence[Sequence[Any]], n: int) -> list[Any]:
+    """Step 3: read the ``m x n`` array whose columns are ``C_0..C_{n-1}``
+    in row-major order — ``D[i*n + v] = C_v[i]``."""
+    if len(columns) != n:
+        raise ValueError(f"expected {n} columns")
+    m = len(columns[0])
+    if any(len(c) != m for c in columns):
+        raise ValueError("columns must have equal length")
+    out: list[Any] = [None] * (m * n)
+    for v, col in enumerate(columns):
+        out[v::n] = col
+    return out
+
+
+def clean_dirty_area(
+    d: Sequence[Any],
+    n: int,
+    sort2: Sort2 = default_sort2,
+    trace: Trace = None,
+    exchange: Exchange = _swap_exchange,
+) -> list[Any]:
+    """Step 4: clean the (<= ``N**2``-long, Lemma 1) dirty window of ``D``.
+
+    ``d`` is split into blocks ``E_z`` of ``N**2`` consecutive keys;
+    after the alternating sorts, the two transposition steps and the final
+    sorts, the concatenation is fully sorted provided ``D`` was sorted
+    except for a window of at most ``N**2`` keys spanning at most two
+    adjacent blocks (Lemma 2's proof, executed literally).
+    """
+    block = n * n
+    if len(d) % block != 0:
+        raise ValueError("sequence length must be a multiple of N^2")
+    nblocks = len(d) // block
+    blocks = [list(d[z * block : (z + 1) * block]) for z in range(nblocks)]
+
+    # F: sort nondecreasing (even z) / nonincreasing (odd z)
+    blocks = [
+        sort2(b) if z % 2 == 0 else sort2(b)[::-1] for z, b in enumerate(blocks)
+    ]
+    if trace is not None:
+        trace("step4_F", [list(b) for b in blocks])
+
+    # two odd-even transposition steps, minima to the lower block
+    for parity in (0, 1):
+        for z in range(parity, nblocks - 1, 2):
+            lo, hi = blocks[z], blocks[z + 1]
+            for t in range(block):
+                lo[t], hi[t] = exchange(lo[t], hi[t])
+        if trace is not None:
+            trace("step4_G" if parity == 0 else "step4_H", [list(b) for b in blocks])
+
+    # final ascending sorts and concatenation
+    out: list[Any] = []
+    for b in blocks:
+        out.extend(sort2(b))
+    if trace is not None:
+        trace("step4_I", list(out))
+    return out
+
+
+def multiway_merge(
+    sequences: Sequence[Sequence[Any]],
+    sort2: Sort2 = default_sort2,
+    trace: Trace = None,
+    validate: bool = False,
+    exchange: Exchange = _swap_exchange,
+) -> list[Any]:
+    """Merge ``N`` sorted sequences of ``N**(k-1)`` keys each (§3.1).
+
+    Parameters
+    ----------
+    sequences:
+        the ``N`` sorted inputs, equal lengths, length a power of ``N`` and
+        at least ``N**2`` (below that the merge cannot progress — §3.2 —
+        and callers should sort directly).
+    sort2:
+        the assumed ``N**2``-key sorter (Step 2's base case and Step 4).
+    trace:
+        optional observer called with every intermediate stage.
+    validate:
+        when true, check the inputs are actually sorted (O(total) extra).
+
+    Returns the single sorted sequence of all ``N**k`` keys.
+    """
+    n, m = _validate_inputs(sequences)
+    if validate:
+        for u, s in enumerate(sequences):
+            for a, b in zip(s, s[1:]):
+                if b < a:
+                    raise ValueError(f"input sequence {u} is not sorted")
+
+    # Step 1: distribute each A_u into N sorted subsequences B_{u,v}
+    b = [distribute(seq, n) for seq in sequences]
+    if trace is not None:
+        trace("step1_B", [[list(col) for col in row] for row in b])
+
+    # Step 2: merge column v's N subsequences into C_v
+    columns: list[list[Any]] = []
+    for v in range(n):
+        col_inputs = [b[u][v] for u in range(n)]
+        if m == n * n:
+            # each subsequence holds m/N = N keys: N^2 keys total -> sort
+            merged: list[Any] = sort2([key for s in col_inputs for key in s])
+        else:
+            merged = multiway_merge(col_inputs, sort2=sort2, trace=None, exchange=exchange)
+        columns.append(merged)
+    if trace is not None:
+        trace("step2_C", [list(c) for c in columns])
+
+    # Step 3: interleave into D
+    d = interleave(columns, n)
+    if trace is not None:
+        trace("step3_D", list(d))
+
+    # Step 4: clean the dirty area
+    result = clean_dirty_area(d, n, sort2=sort2, trace=trace, exchange=exchange)
+    if trace is not None:
+        trace("result", list(result))
+    return result

@@ -1,0 +1,296 @@
+"""Comparator networks from the multiway merge (paper §3.2's remark).
+
+§3.2: "if we are interested in building a sorting network, we can implement
+subnetworks based on recursively updating N ..." — the merge of §3.1 is an
+oblivious compare-exchange procedure, so it *is* a comparator network once
+the free redistribution steps (1 and 3) are compiled away into wire
+bookkeeping.  This module performs that compilation:
+
+* :func:`multiway_merge_network` — a network merging ``n`` sorted sequences
+  of ``n**(k-1)`` keys laid out concatenated on the wires;
+* :func:`multiway_sort_network` — the full §3.3 sorter for ``n**r`` wires;
+* both return a :class:`WireNetwork`: parallel *layers* of disjoint
+  comparators plus the output order (which wires hold the sorted sequence),
+  with :meth:`WireNetwork.normalized` relabelling wires so the output is in
+  natural order — a standard sorting network comparable, comparator for
+  comparator, with Batcher's constructions in :mod:`repro.baselines.batcher`.
+
+Steps 1 and 3 contribute **zero comparators** — the network-construction
+face of the paper's observation that they are free on product networks.
+Step 4's two odd-even block transpositions are single layers each (all the
+pairs are disjoint).  The recursive column merges of Step 2 operate on
+disjoint wire sets, so their layers are zipped together (they run in
+parallel), keeping the depth at the parallel-time value rather than the
+sum.
+
+The base case sorts ``n**2`` wires with a pluggable primitive network:
+odd-even transposition (any width; ``L`` layers) or Batcher's odd-even
+merge sort (power-of-two widths; ``lg L (lg L + 1)/2`` layers) — choosing
+the latter recovers, for ``n = 2``, networks with Batcher-like depth, which
+is the §5.3 "Batcher is a special case" statement at the network level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "WireNetwork",
+    "multiway_merge_network",
+    "multiway_sort_network",
+    "transposition_base",
+    "batcher_base",
+    "auto_base",
+]
+
+#: one comparator: (lo_wire, hi_wire) — min ends on lo_wire
+Comparator = tuple[int, int]
+#: a layer: disjoint comparators executing in parallel
+Layer = list[Comparator]
+#: a base sorter: given wire ids in ascending target order, produce layers
+BaseSorter = Callable[[Sequence[int]], list[Layer]]
+
+
+@dataclass(frozen=True)
+class WireNetwork:
+    """Layers of comparators plus the output order.
+
+    After running :attr:`layers` on any input, reading the wires in
+    :attr:`order` yields the keys sorted ascending.
+    """
+
+    width: int
+    layers: tuple[tuple[Comparator, ...], ...]
+    order: tuple[int, ...]
+
+    @property
+    def depth(self) -> int:
+        """Number of parallel layers."""
+        return len(self.layers)
+
+    @property
+    def size(self) -> int:
+        """Total comparator count."""
+        return sum(len(layer) for layer in self.layers)
+
+    def apply(self, keys: Sequence[Any]) -> list[Any]:
+        """Run the network; return the keys read in output order (sorted)."""
+        if len(keys) != self.width:
+            raise ValueError(f"expected {self.width} keys, got {len(keys)}")
+        wires = list(keys)
+        for layer in self.layers:
+            for lo, hi in layer:
+                if wires[hi] < wires[lo]:
+                    wires[lo], wires[hi] = wires[hi], wires[lo]
+        return [wires[w] for w in self.order]
+
+    def normalized(self) -> "WireNetwork":
+        """Relabel wires so the output order is ``0..width-1``.
+
+        The relabelled network is a *standard* sorting network: wire ``p``
+        ends up holding the ``p``-th smallest input.
+        """
+        rho = [0] * self.width
+        for p, w in enumerate(self.order):
+            rho[w] = p
+        layers = tuple(
+            tuple((rho[lo], rho[hi]) for lo, hi in layer) for layer in self.layers
+        )
+        return WireNetwork(width=self.width, layers=layers, order=tuple(range(self.width)))
+
+    def validate_layers(self) -> None:
+        """Raise if any layer reuses a wire (layers must be parallel)."""
+        for i, layer in enumerate(self.layers):
+            touched = [w for comp in layer for w in comp]
+            if len(touched) != len(set(touched)):
+                raise ValueError(f"layer {i} reuses a wire")
+
+
+# ----------------------------------------------------------------------
+# base sorters for n^2 wires
+# ----------------------------------------------------------------------
+def transposition_base(wires: Sequence[int]) -> list[Layer]:
+    """Odd-even transposition network along the given wire order
+    (``len(wires)`` layers; works for any width)."""
+    length = len(wires)
+    layers: list[Layer] = []
+    for t in range(length):
+        layer = [
+            (wires[i], wires[i + 1]) for i in range(t % 2, length - 1, 2)
+        ]
+        if layer:
+            layers.append(layer)
+    return layers
+
+
+def batcher_base(wires: Sequence[int]) -> list[Layer]:
+    """Batcher odd-even merge sort over the given wires (power-of-two width,
+    ``lg L (lg L + 1)/2`` layers)."""
+    from ..baselines.batcher import odd_even_merge_sort_network
+
+    length = len(wires)
+    if length & (length - 1):
+        raise ValueError(f"batcher base needs a power-of-two width, got {length}")
+    return [
+        [(wires[i], wires[j]) for i, j in stage]
+        for stage in odd_even_merge_sort_network(length)
+    ]
+
+
+def auto_base(wires: Sequence[int]) -> list[Layer]:
+    """Batcher when the width is a power of two, transposition otherwise."""
+    length = len(wires)
+    if length >= 2 and not (length & (length - 1)):
+        return batcher_base(wires)
+    return transposition_base(wires)
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+def _zip_layers(groups: list[list[Layer]]) -> list[Layer]:
+    """Merge parallel computations on disjoint wires layer-by-layer."""
+    depth = max((len(g) for g in groups), default=0)
+    out: list[Layer] = []
+    for t in range(depth):
+        layer: Layer = []
+        for g in groups:
+            if t < len(g):
+                layer.extend(g[t])
+        if layer:
+            out.append(layer)
+    return out
+
+
+def _distribute_wires(seq: Sequence[int], n: int) -> list[list[int]]:
+    """Step 1 on wire ids: the B_v subsequences of a sorted wire sequence."""
+    columns: list[list[int]] = [[] for _ in range(n)]
+    for idx, wire in enumerate(seq):
+        row, col = divmod(idx, n)
+        if row % 2 == 1:
+            col = n - 1 - col
+        columns[col].append(wire)
+    return columns
+
+
+def _merge_wire_sequences(
+    sequences: list[list[int]], n: int, base: BaseSorter
+) -> tuple[list[Layer], list[int]]:
+    """Compile the §3.1 merge of ``n`` sorted wire sequences.
+
+    Returns ``(layers, order)``: after the layers run, reading the wires in
+    ``order`` yields the merged sorted sequence.
+    """
+    m = len(sequences[0])
+    # Step 1 (free): distribute each sequence into its B_{u,v} columns.
+    b = [_distribute_wires(seq, n) for seq in sequences]
+
+    # Step 2: merge column v's subsequences (recursively / base sort).
+    col_layer_groups: list[list[Layer]] = []
+    col_orders: list[list[int]] = []
+    for v in range(n):
+        col_inputs = [b[u][v] for u in range(n)]
+        if m == n * n:
+            wires = [w for s in col_inputs for w in s]
+            # the base sorter sorts *into the listed wire order*
+            col_layer_groups.append(base(wires))
+            col_orders.append(wires)
+        else:
+            layers_v, order_v = _merge_wire_sequences(col_inputs, n, base)
+            col_layer_groups.append(layers_v)
+            col_orders.append(order_v)
+    layers = _zip_layers(col_layer_groups)  # columns run in parallel
+
+    # Step 3 (free): interleave the column orders into D.
+    d: list[int] = [0] * (m * n)
+    for v, order_v in enumerate(col_orders):
+        d[v::n] = order_v
+
+    # Step 4: clean the dirty area.
+    block = n * n
+    nblocks = len(d) // block
+    blocks = [d[z * block : (z + 1) * block] for z in range(nblocks)]
+
+    def block_sorts() -> list[Layer]:
+        groups = []
+        for z, wires in enumerate(blocks):
+            target = wires if z % 2 == 0 else list(reversed(wires))
+            groups.append(base(target))
+        return _zip_layers(groups)
+
+    layers += block_sorts()
+    for parity in (0, 1):
+        layer: Layer = []
+        for z in range(parity, nblocks - 1, 2):
+            for t in range(block):
+                layer.append((blocks[z][t], blocks[z + 1][t]))
+        if layer:
+            layers.append(layer)
+    layers += block_sorts()
+
+    # final order: blocks ascending; odd blocks were sorted descending along
+    # their wire list, so read them reversed.
+    order: list[int] = []
+    for z, wires in enumerate(blocks):
+        order.extend(wires if z % 2 == 0 else list(reversed(wires)))
+    return layers, order
+
+
+def multiway_merge_network(n: int, k: int, base: BaseSorter = auto_base) -> WireNetwork:
+    """Network merging ``n`` sorted runs of ``n**(k-1)`` keys (``k >= 3``).
+
+    Input layout: run ``u`` occupies wires ``[u*n**(k-1), (u+1)*n**(k-1))``,
+    each sorted ascending by wire index.
+    """
+    if n < 2 or k < 3:
+        raise ValueError("need n >= 2 and k >= 3 (below that, sort directly — §3.2)")
+    m = n ** (k - 1)
+    sequences = [list(range(u * m, (u + 1) * m)) for u in range(n)]
+    layers, order = _merge_wire_sequences(sequences, n, base)
+    net = WireNetwork(
+        width=n * m,
+        layers=tuple(tuple(layer) for layer in layers),
+        order=tuple(order),
+    )
+    net.validate_layers()
+    return net
+
+
+def multiway_sort_network(n: int, r: int, base: BaseSorter = auto_base) -> WireNetwork:
+    """Full §3.3 sorting network for ``n**r`` wires (``r >= 2``).
+
+    Sorts the initial ``n**2``-wire blocks with the base network, then
+    compiles one merge level per dimension ``3..r`` (merges of one level
+    run on disjoint wires, hence in parallel layers).
+    """
+    if n < 2 or r < 2:
+        raise ValueError("need n >= 2 and r >= 2")
+    total = n**r
+    block = n * n
+
+    # initial block sorts, all in parallel
+    groups = [base(list(range(g * block, (g + 1) * block))) for g in range(total // block)]
+    layers = _zip_layers(groups)
+    orders: list[list[int]] = [
+        list(range(g * block, (g + 1) * block)) for g in range(total // block)
+    ]
+
+    while len(orders) > 1:
+        merged_groups: list[list[Layer]] = []
+        merged_orders: list[list[int]] = []
+        for g in range(0, len(orders), n):
+            group_inputs = orders[g : g + n]
+            layers_g, order_g = _merge_wire_sequences(group_inputs, n, base)
+            merged_groups.append(layers_g)
+            merged_orders.append(order_g)
+        layers += _zip_layers(merged_groups)
+        orders = merged_orders
+
+    net = WireNetwork(
+        width=total,
+        layers=tuple(tuple(layer) for layer in layers),
+        order=tuple(orders[0]),
+    )
+    net.validate_layers()
+    return net

@@ -1,0 +1,33 @@
+"""Extensions beyond the paper's scope, grounded in its §6 future work.
+
+* :mod:`repro.extensions.sample_sort` — the paper's closing suggestion:
+  "we could try to generalize the hypercube randomized algorithms for
+  product networks".  A splitter-based randomized slab sort whose buckets
+  are the ``[u]PG^r_{r-1}`` subgraphs, with Las Vegas balance checking and
+  a round-cost model comparable against Theorem 1.
+* :mod:`repro.extensions.bulk` — the many-keys-per-node regime (the setting
+  of the randomized literature the paper cites): each node holds ``c`` keys;
+  local sorts plus the unchanged §3 algorithm over block leaders.
+
+These modules are *our* exploration of the paper's open questions; every
+claim they make is measured, none is attributed to the paper.
+"""
+
+from .bulk import BulkSortStats, bulk_multiway_merge_sort
+from .sample_sort import (
+    SampleSortStats,
+    classify_keys,
+    randomized_round_model,
+    randomized_slab_sort,
+    sample_splitters,
+)
+
+__all__ = [
+    "BulkSortStats",
+    "bulk_multiway_merge_sort",
+    "SampleSortStats",
+    "classify_keys",
+    "randomized_round_model",
+    "randomized_slab_sort",
+    "sample_splitters",
+]

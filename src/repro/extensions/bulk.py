@@ -1,0 +1,162 @@
+"""Bulk regime: many keys per node (the setting of the paper's refs [1], [5]).
+
+The paper's machine model holds exactly one key per node, and notes that
+Columnsort-family algorithms "behave nicely when the number of keys is
+large compared with the number of processors".  This module extends the
+multiway-merge sorter to that regime the way practical systems do:
+
+* every node holds a **sorted run** of ``c`` keys;
+* a compare-exchange between two nodes becomes a **merge-split**: the nodes
+  exchange runs, the low side keeps the ``c`` smallest of the union, the
+  high side the ``c`` largest (cost: ``c`` link-words, i.e. ``c`` rounds in
+  the one-word-per-link model);
+* the assumed two-dimensional sorter becomes its bulk analogue: fully sort
+  the ``c * N**2`` keys of a block and deal them back as runs;
+* everything else — snake order over nodes, merge Steps 1-4 — is unchanged.
+
+Correctness is Knuth's classic lifting: an *oblivious* compare-exchange
+schedule stays a sorting algorithm when compare-exchange is replaced by
+merge-split over pre-sorted runs (think of a run of 0-1 keys as its zero
+count; merge-split acts on zero counts exactly like min/max).  Our pipeline
+is oblivious — the Step-4 transpositions go through the ``exchange`` hook
+of :func:`repro.core.multiway_merge.multiway_merge` — so the lifting
+applies verbatim.
+
+Cost: every one-key round becomes a ``c``-word round, so the modelled total
+is ``c * S_r(N)`` rounds for ``c * N**r`` keys — **rounds per key
+independent of c** while the network stays fixed.  Compared with growing a
+one-key network to ``N**r' = c * N**r`` nodes: the bigger machine finishes
+in fewer raw rounds (it has ``c`` times the processors) but spends strictly
+more processor-rounds per key (``S_r < S_r'``), so the bulk machine is the
+more *efficient* design — the quantitative version of the paper's remark
+that multiway algorithms "behave nicely when the number of keys is large
+compared with the number of processors".  :func:`bulk_multiway_merge_sort`
+measures the data path and reports both numbers; the bench turns them into
+the efficiency table.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Any
+
+from ..analysis.complexity import sort_rounds
+from ..core.sorting import multiway_merge_sort, required_order
+
+__all__ = ["BulkSortStats", "bulk_multiway_merge_sort"]
+
+
+@dataclass(frozen=True)
+class BulkSortStats:
+    """Cost profile of a bulk sort of ``c * n**r`` keys on ``n**r`` nodes."""
+
+    n: int
+    r: int
+    keys_per_node: int
+    total_keys: int
+    #: merge-split exchanges actually performed by the schedule
+    split_exchanges: int
+    #: modelled rounds on the grid instantiation: c x one-key S_r(N)
+    modelled_rounds: int
+    #: one-key network with one node per key (when c*n**r is a power of n):
+    #: its Theorem 1 rounds, for the amortisation comparison
+    one_key_equivalent_rounds: int | None
+
+
+@total_ordering
+class _Run:
+    """A sorted run of ``c`` keys; ordered lexicographically.
+
+    The order is only consulted by the *validation* paths of the one-key
+    pipeline (never by the transpositions, which use merge-split), so any
+    total order consistent with equality works.
+    """
+
+    __slots__ = ("keys",)
+
+    def __init__(self, keys: list[Any]):
+        self.keys = keys
+
+    def __lt__(self, other: "_Run") -> bool:
+        return self.keys < other.keys
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Run) and self.keys == other.keys
+
+
+def _grid_constants(n: int) -> tuple[int, int]:
+    """(S2, R) of the reference grid instantiation (hypercube for n = 2)."""
+    if n == 2:
+        return 3, 1
+    from ..graphs.library import path_graph
+    from ..sorters2d.analytic import sorter_for_factor
+    from ..sorters2d.base import PublishedRoutingModel
+
+    factor = path_graph(n)
+    return sorter_for_factor(factor).rounds(n), PublishedRoutingModel(factor).rounds(n)
+
+
+def bulk_multiway_merge_sort(
+    keys: Sequence[Any],
+    n: int,
+    keys_per_node: int,
+) -> tuple[list[Any], BulkSortStats]:
+    """Sort ``keys_per_node * n**r`` keys, ``keys_per_node`` per node.
+
+    Returns the globally sorted key list (read node runs in snake order)
+    and the cost profile.
+    """
+    c = keys_per_node
+    if c < 1:
+        raise ValueError("keys_per_node must be >= 1")
+    if len(keys) % c != 0:
+        raise ValueError("key count must be divisible by keys_per_node")
+    num_nodes = len(keys) // c
+    r = required_order(num_nodes, n)
+    if r < 2:
+        raise ValueError("need n**r nodes with r >= 2")
+
+    # local pre-sort: each node sorts its own run (no communication)
+    runs = [_Run(sorted(keys[i * c : (i + 1) * c])) for i in range(num_nodes)]
+
+    split_count = [0]
+
+    def split_exchange(lo: _Run, hi: _Run) -> tuple[_Run, _Run]:
+        split_count[0] += 1
+        merged = sorted(lo.keys + hi.keys)
+        return _Run(merged[:c]), _Run(merged[c:])
+
+    def run_sort2(block_runs: list[_Run]) -> list[_Run]:
+        merged = sorted(k for run in block_runs for k in run.keys)
+        return [_Run(merged[i * c : (i + 1) * c]) for i in range(len(block_runs))]
+
+    sorted_runs = multiway_merge_sort(runs, n, sort2=run_sort2, exchange=split_exchange)
+
+    out: list[Any] = []
+    for run in sorted_runs:
+        out.extend(run.keys)
+
+    s2, routing = _grid_constants(n)
+    one_key_rounds = sort_rounds(r, s2, routing)
+
+    # the one-key network holding the same key count, when it exists
+    one_key_equivalent: int | None = None
+    t, rp = len(keys), 0
+    while t % n == 0:
+        t //= n
+        rp += 1
+    if t == 1 and rp >= 2:
+        one_key_equivalent = sort_rounds(rp, s2, routing)
+
+    stats = BulkSortStats(
+        n=n,
+        r=r,
+        keys_per_node=c,
+        total_keys=len(keys),
+        split_exchanges=split_count[0],
+        modelled_rounds=c * one_key_rounds,
+        one_key_equivalent_rounds=one_key_equivalent,
+    )
+    return out, stats

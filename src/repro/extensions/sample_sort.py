@@ -1,0 +1,178 @@
+"""Randomized slab sort for product networks (exploring paper §6).
+
+The paper closes with: "there are randomized algorithms which perform better
+on hypercubic networks than the Batcher algorithm in practice [Blelloch et
+al.].  Adaptation of such approaches for product networks appears to be an
+interesting problem for future research."
+
+This module is that adaptation, at the level of rigour a simulation can
+honestly support.  The key structural observation transfers directly from
+the deterministic algorithm: the top-dimension slabs ``[u]PG^r_{r-1}``
+occupy *contiguous* windows of the snake order (the Gray code's outermost
+blocks), so if every key reaches the slab owning its final snake window,
+**recursively sorting the slabs in parallel finishes the job with no merge
+step at all**.  Randomization enters where it does in sample sort: choosing
+the ``N - 1`` splitters that partition the key space into slab-sized
+buckets.
+
+Because every node holds exactly one key, a slab can only accept exactly
+``N**(r-1)`` keys — sampled splitters achieve that only approximately, so
+the algorithm is Las Vegas: oversample, check every bucket fits its slab,
+resample on failure.  :func:`randomized_slab_sort` executes this at the
+sequence level and reports the balance/retry statistics that decide whether
+the approach is practical; :func:`randomized_round_model` turns the
+statistics into a round estimate comparable with Theorem 1.
+
+Findings (measured in ``benchmarks/bench_randomized_extension.py``): with
+one key per node the fit condition is brutal — the probability that all
+``N`` buckets land exactly at capacity is essentially zero unless splitters
+are exact order statistics, so retries explode.  With slack (the bulk
+regime of :mod:`repro.extensions.bulk`, ``c`` keys per node and buckets
+allowed up to ``c * N**(r-1)``), modest oversampling makes one round of
+sampling suffice with high probability — reproducing the folklore reason
+the randomized literature assumes many keys per processor, and answering
+the paper's question with "yes, but only in the bulk regime".
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from bisect import bisect_right
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "SampleSortStats",
+    "sample_splitters",
+    "classify_keys",
+    "randomized_slab_sort",
+    "randomized_round_model",
+]
+
+
+@dataclass(frozen=True)
+class SampleSortStats:
+    """Balance and retry statistics of one Las Vegas slab sort."""
+
+    n_buckets: int
+    capacity: int
+    oversample: int
+    attempts: int
+    #: bucket loads of the successful attempt
+    loads: tuple[int, ...]
+    #: max load over capacity (<= 1.0 on success with strict capacity)
+    max_relative_load: float
+
+
+def sample_splitters(
+    keys: Sequence[Any], n_buckets: int, oversample: int, rng: random.Random
+) -> list[Any]:
+    """Draw ``n_buckets * oversample`` sampled keys (with replacement), sort
+    them, and return the ``n_buckets - 1`` evenly spaced splitters."""
+    if n_buckets < 2:
+        raise ValueError("need at least two buckets")
+    if oversample < 1:
+        raise ValueError("oversample must be >= 1")
+    sample = sorted(rng.choice(keys) for _ in range(n_buckets * oversample))
+    return [sample[(b + 1) * oversample - 1] for b in range(n_buckets - 1)]
+
+
+def classify_keys(keys: Sequence[Any], splitters: Sequence[Any]) -> list[int]:
+    """Bucket index of every key: ``b`` s.t. ``splitters[b-1] < key``...
+    (ties go left via ``bisect_right`` on the key — deterministic)."""
+    return [bisect_right(splitters, key) for key in keys]
+
+
+def randomized_slab_sort(
+    keys: Sequence[Any],
+    n: int,
+    r: int,
+    oversample: int = 8,
+    slack: float = 1.0,
+    rng: random.Random | None = None,
+    max_attempts: int = 100,
+) -> tuple[list[Any], SampleSortStats]:
+    """Las Vegas slab sort of ``n**r`` keys with ``n`` slab buckets.
+
+    Parameters
+    ----------
+    slack:
+        capacity multiplier: a bucket may hold up to
+        ``slack * n**(r-1)`` keys.  ``slack = 1.0`` is the strict
+        one-key-per-node network constraint (expect many retries);
+        ``slack > 1`` models nodes with buffer room (the bulk regime).
+    oversample:
+        sample size per bucket; larger = tighter splitters, costlier sample.
+
+    Returns the sorted keys and the statistics of the successful attempt.
+    Raises ``RuntimeError`` after ``max_attempts`` failed samples (the
+    honest outcome for infeasible parameter choices).
+    """
+    if len(keys) != n**r:
+        raise ValueError(f"expected {n**r} keys")
+    if r < 2:
+        raise ValueError("need r >= 2")
+    if slack < 1.0:
+        raise ValueError("slack must be >= 1")
+    rng = rng if rng is not None else random.Random(0)
+    capacity = math.floor(slack * n ** (r - 1))
+
+    for attempt in range(1, max_attempts + 1):
+        splitters = sample_splitters(keys, n, oversample, rng)
+        buckets: list[list[Any]] = [[] for _ in range(n)]
+        for key, b in zip(keys, classify_keys(keys, splitters)):
+            buckets[b].append(key)
+        loads = tuple(len(b) for b in buckets)
+        if max(loads) <= capacity:
+            # local (parallel) slab sorts finish the job: slabs own
+            # contiguous snake windows, so no merging is needed.
+            out: list[Any] = []
+            for bucket in buckets:
+                out.extend(sorted(bucket))
+            stats = SampleSortStats(
+                n_buckets=n,
+                capacity=capacity,
+                oversample=oversample,
+                attempts=attempt,
+                loads=loads,
+                max_relative_load=max(loads) / (n ** (r - 1)),
+            )
+            return out, stats
+    raise RuntimeError(
+        f"no balanced sample after {max_attempts} attempts "
+        f"(n={n}, r={r}, oversample={oversample}, slack={slack}); "
+        "with slack=1.0 this is expected — see the module docstring"
+    )
+
+
+def randomized_round_model(
+    n: int,
+    r: int,
+    s2: int,
+    routing: int,
+    attempts: int = 1,
+) -> int:
+    """Round estimate for the network execution of one slab sort level.
+
+    Per attempt: sample gather + splitter broadcast along a spanning tree of
+    the product (~ ``2 * r * N`` rounds, diameter-bounded), one all-to-all
+    key routing done dimension by dimension (``r`` permutation routings of
+    ``N * routing`` rounds — each dimension moves keys between ``N``
+    positions with full pipelining of the ``N**(r-1)`` lanes... we charge
+    the conservative ``r * N * routing``).  After the final attempt the
+    slabs recurse; the recursion bottoms at the deterministic ``S_2``:
+
+    ``T(2) = s2;  T(k) = attempts * (2kN + kN*routing) + T(k-1)``.
+
+    This is a *model* for comparing against Theorem 1, not a measured
+    quantity — the network data path for the all-to-all is not implemented
+    (that is precisely the open engineering problem §6 points at).
+    """
+    if r < 2:
+        raise ValueError("need r >= 2")
+    total = s2
+    for k in range(3, r + 1):
+        total += attempts * (2 * k * n + k * n * routing)
+    return total

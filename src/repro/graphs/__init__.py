@@ -1,0 +1,70 @@
+"""Factor graphs, product networks and embeddings (paper §2).
+
+* :mod:`repro.graphs.base` — the :class:`FactorGraph` abstraction with
+  Hamiltonian-path search and the dilation-3 linear-array embedding;
+* :mod:`repro.graphs.library` — factories for every factor used in §5
+  (path, cycle, K2, Petersen, binary tree, de Bruijn, shuffle-exchange, ...)
+  plus random connected graphs;
+* :mod:`repro.graphs.product` — :class:`ProductGraph` (Definition 1) with
+  subgraph views ``[u]PG^i``;
+* :mod:`repro.graphs.embeddings` — cycle/torus emulation certificates behind
+  the Corollary and §5.4.
+"""
+
+from .base import FactorGraph, LinearEmbedding
+from .embeddings import (
+    EmulationCertificate,
+    cycle_embedding,
+    emulation_slowdown,
+    pg2_contains_grid,
+    torus_emulation_certificate,
+)
+from .library import (
+    FACTOR_FACTORIES,
+    caterpillar_graph,
+    circulant_graph,
+    complete_binary_tree,
+    complete_bipartite_graph,
+    grid_2d_factor,
+    hypercube_factor,
+    complete_graph,
+    cycle_graph,
+    de_bruijn_graph,
+    k2,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+    shuffle_exchange_graph,
+    star_graph,
+    wheel_graph,
+)
+from .product import ProductGraph, SubgraphView
+
+__all__ = [
+    "FactorGraph",
+    "LinearEmbedding",
+    "ProductGraph",
+    "SubgraphView",
+    "EmulationCertificate",
+    "cycle_embedding",
+    "emulation_slowdown",
+    "pg2_contains_grid",
+    "torus_emulation_certificate",
+    "FACTOR_FACTORIES",
+    "caterpillar_graph",
+    "circulant_graph",
+    "complete_binary_tree",
+    "complete_bipartite_graph",
+    "grid_2d_factor",
+    "hypercube_factor",
+    "complete_graph",
+    "cycle_graph",
+    "de_bruijn_graph",
+    "k2",
+    "path_graph",
+    "petersen_graph",
+    "random_connected_graph",
+    "shuffle_exchange_graph",
+    "star_graph",
+    "wheel_graph",
+]

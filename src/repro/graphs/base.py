@@ -1,0 +1,390 @@
+"""Factor graphs: the building block ``G`` of product networks (paper §2).
+
+A :class:`FactorGraph` is a small connected undirected graph whose node
+labels ``0..N-1`` double as the *ascending data order* of the sorting
+algorithm: when ``PG_r`` holds sorted data, tracing the snake order visits
+factor-graph labels in Gray-code order, so two snake-consecutive nodes differ
+by one in exactly one label symbol.  Consequently a compare-exchange between
+snake-consecutive nodes is a single link traversal exactly when labels
+``i`` and ``i+1`` are adjacent in ``G`` — i.e. when the labelling follows a
+Hamiltonian path.
+
+The paper (end of §2) notes that a Hamiltonian labelling is *beneficial but
+not required*: for non-Hamiltonian factors one embeds a linear array with
+dilation three (and small congestion) and pays a constant-factor slowdown.
+This module implements both: exact Hamiltonian-path search (bitmask dynamic
+programming, adequate for the factor sizes a product network uses) and the
+classic spanning-tree-cube construction that yields a dilation-<=3 linear
+ordering of *any* connected graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from functools import cached_property
+
+__all__ = ["FactorGraph", "LinearEmbedding"]
+
+
+@dataclass(frozen=True)
+class LinearEmbedding:
+    """A linear-array-in-``G`` embedding certificate.
+
+    Attributes
+    ----------
+    order:
+        The image of the linear array: ``order[i]`` is the ``G``-node hosting
+        array position ``i``.  Always a permutation of ``range(N)``.
+    paths:
+        ``paths[i]`` is the routed ``G``-path from ``order[i]`` to
+        ``order[i+1]`` realising array edge ``(i, i+1)``.
+    dilation:
+        ``max(len(p) - 1 for p in paths)`` — guaranteed ``<= 3`` by the
+        spanning-tree-cube construction (Sekanina's theorem).
+    congestion:
+        Maximum number of routed paths crossing any single ``G``-edge.
+    """
+
+    order: tuple[int, ...]
+    paths: tuple[tuple[int, ...], ...]
+    dilation: int
+    congestion: int
+
+    def is_hamiltonian(self) -> bool:
+        """True when the embedding is a genuine Hamiltonian path (dilation 1)."""
+        return self.dilation <= 1
+
+
+@dataclass(frozen=True)
+class FactorGraph:
+    """An undirected connected graph on nodes ``0..n-1`` with named topology.
+
+    Instances are immutable and hashable; all derived quantities (adjacency,
+    distances, Hamiltonian path) are computed lazily and cached.  Create
+    well-known topologies through :mod:`repro.graphs.library`.
+    """
+
+    n: int
+    edges: frozenset[tuple[int, int]]
+    name: str = "G"
+    #: Optional constructor-supplied Hamiltonian path (a node ordering); used
+    #: to skip the exponential search for structured graphs where the path is
+    #: known in closed form (cycles, de Bruijn graphs, ...).
+    hamiltonian_hint: tuple[int, ...] | None = field(default=None, compare=False)
+
+    # ------------------------------------------------------------------
+    # construction and validation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_edge_list(
+        n: int,
+        edges,
+        name: str = "G",
+        hamiltonian_hint=None,
+    ) -> "FactorGraph":
+        """Build a factor graph from any iterable of node pairs.
+
+        Edges are normalised to ``(min, max)`` tuples; self-loops are
+        rejected, duplicates collapse.  Raises ``ValueError`` for labels out
+        of range or a disconnected result (the paper requires connected
+        factors).
+        """
+        norm = set()
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop on node {u} is not allowed")
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
+            norm.add((min(u, v), max(u, v)))
+        g = FactorGraph(
+            n=n,
+            edges=frozenset(norm),
+            name=name,
+            hamiltonian_hint=tuple(hamiltonian_hint) if hamiltonian_hint is not None else None,
+        )
+        if n < 1:
+            raise ValueError("factor graph needs at least one node")
+        if n >= 2 and not g.is_connected:
+            raise ValueError(f"factor graph {name!r} must be connected")
+        if g.hamiltonian_hint is not None:
+            g._validate_hint()
+        return g
+
+    def _validate_hint(self) -> None:
+        hint = self.hamiltonian_hint
+        assert hint is not None
+        if sorted(hint) != list(range(self.n)):
+            raise ValueError("hamiltonian_hint must be a permutation of the nodes")
+        for a, b in zip(hint, hint[1:]):
+            if not self.has_edge(a, b):
+                raise ValueError(f"hamiltonian_hint step ({a}, {b}) is not an edge")
+
+    # ------------------------------------------------------------------
+    # basic structure
+    # ------------------------------------------------------------------
+    @cached_property
+    def adjacency(self) -> tuple[frozenset[int], ...]:
+        """``adjacency[u]`` is the frozen neighbour set of node ``u``."""
+        adj: list[set[int]] = [set() for _ in range(self.n)]
+        for u, v in self.edges:
+            adj[u].add(v)
+            adj[v].add(u)
+        return tuple(frozenset(s) for s in adj)
+
+    def neighbors(self, u: int) -> frozenset[int]:
+        """Neighbour set of node ``u``."""
+        return self.adjacency[u]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff ``{u, v}`` is an edge of the graph."""
+        return (min(u, v), max(u, v)) in self.edges
+
+    def degree(self, u: int) -> int:
+        """Degree of node ``u``."""
+        return len(self.adjacency[u])
+
+    @cached_property
+    def max_degree(self) -> int:
+        """Maximum node degree."""
+        return max((self.degree(u) for u in range(self.n)), default=0)
+
+    @cached_property
+    def is_connected(self) -> bool:
+        """True iff the graph is connected (always required for factors)."""
+        if self.n == 0:
+            return False
+        seen = {0}
+        frontier = deque([0])
+        while frontier:
+            u = frontier.popleft()
+            for v in self.adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        return len(seen) == self.n
+
+    @cached_property
+    def distance_matrix(self) -> tuple[tuple[int, ...], ...]:
+        """All-pairs hop distances via BFS from every node."""
+        rows = []
+        for src in range(self.n):
+            dist = [-1] * self.n
+            dist[src] = 0
+            frontier = deque([src])
+            while frontier:
+                u = frontier.popleft()
+                for v in self.adjacency[u]:
+                    if dist[v] < 0:
+                        dist[v] = dist[u] + 1
+                        frontier.append(v)
+            rows.append(tuple(dist))
+        return tuple(rows)
+
+    @cached_property
+    def diameter(self) -> int:
+        """Maximum hop distance between any node pair."""
+        return max(max(row) for row in self.distance_matrix)
+
+    def shortest_path(self, src: int, dst: int) -> tuple[int, ...]:
+        """One shortest ``src``-``dst`` path (inclusive of endpoints), via BFS."""
+        if src == dst:
+            return (src,)
+        prev = {src: src}
+        frontier = deque([src])
+        while frontier:
+            u = frontier.popleft()
+            for v in sorted(self.adjacency[u]):
+                if v not in prev:
+                    prev[v] = u
+                    if v == dst:
+                        path = [dst]
+                        while path[-1] != src:
+                            path.append(prev[path[-1]])
+                        return tuple(reversed(path))
+                    frontier.append(v)
+        raise ValueError(f"no path from {src} to {dst}")
+
+    # ------------------------------------------------------------------
+    # labellings
+    # ------------------------------------------------------------------
+    @cached_property
+    def hamiltonian_path(self) -> tuple[int, ...] | None:
+        """A Hamiltonian path of the graph, or ``None`` if none exists.
+
+        Uses the constructor hint when available, otherwise exact
+        Held-Karp-style bitmask dynamic programming (``O(2^n * n^2)``), which
+        is fine for the factor sizes product networks are built from (the
+        paper's examples use N <= 10; the DP is capped at n = 20 to avoid
+        accidental blow-ups — beyond the cap only hints are consulted).
+        """
+        if self.hamiltonian_hint is not None:
+            return self.hamiltonian_hint
+        if self.n == 1:
+            return (0,)
+        if self.n > 20:
+            return None  # search space too large; callers fall back to embedding
+        n = self.n
+        # reach[mask][v] = True if there is a path covering `mask` ending at v
+        full = (1 << n) - 1
+        reach = [0] * (1 << n)  # bitset of possible endpoints per mask
+        parent: dict[tuple[int, int], int] = {}
+        for v in range(n):
+            reach[1 << v] |= 1 << v
+        for mask in range(1 << n):
+            ends = reach[mask]
+            if not ends:
+                continue
+            v = 0
+            while ends:
+                if ends & 1:
+                    for w in self.adjacency[v]:
+                        nxt = mask | (1 << w)
+                        if nxt != mask and not (reach[nxt] >> w) & 1:
+                            reach[nxt] |= 1 << w
+                            parent[(nxt, w)] = v
+                ends >>= 1
+                v += 1
+        if not reach[full]:
+            return None
+        end = (reach[full] & -reach[full]).bit_length() - 1
+        path = [end]
+        mask = full
+        while mask != (1 << path[-1]):
+            v = path[-1]
+            u = parent[(mask, v)]
+            mask ^= 1 << v
+            path.append(u)
+        return tuple(reversed(path))
+
+    @cached_property
+    def labels_follow_hamiltonian_path(self) -> bool:
+        """True iff labels ``0, 1, ..., n-1`` trace a path edge by edge.
+
+        When true, the snake order's unit steps are single-link traversals,
+        giving the constant-factor speedup discussed at the end of paper §2.
+        """
+        return all(self.has_edge(i, i + 1) for i in range(self.n - 1))
+
+    def relabel(self, perm: list[int] | tuple[int, ...]) -> "FactorGraph":
+        """Return a copy with node ``u`` renamed ``perm[u]``.
+
+        Used to place labels along a Hamiltonian path (or along a dilation-3
+        linear embedding) and, in the labelling-effect benchmark, to
+        scramble labels on purpose.
+        """
+        if sorted(perm) != list(range(self.n)):
+            raise ValueError("perm must be a permutation of the nodes")
+        edges = [(perm[u], perm[v]) for u, v in self.edges]
+        hint = None
+        if self.hamiltonian_hint is not None:
+            hint = tuple(perm[u] for u in self.hamiltonian_hint)
+        return FactorGraph.from_edge_list(
+            self.n, edges, name=f"{self.name}/relabelled", hamiltonian_hint=hint
+        )
+
+    def canonically_labelled(self) -> "FactorGraph":
+        """Relabel so labels follow the best linear order available.
+
+        Prefers a Hamiltonian path (labels become positions along it);
+        otherwise labels follow the dilation-<=3 linear embedding.  This is
+        the labelling convention the paper recommends in §2.
+        """
+        order = self.hamiltonian_path
+        if order is None:
+            order = self.linear_embedding().order
+        perm = [0] * self.n
+        for position, node in enumerate(order):
+            perm[node] = position
+        return self.relabel(perm)
+
+    # ------------------------------------------------------------------
+    # linear-array embedding (dilation <= 3)
+    # ------------------------------------------------------------------
+    @cached_property
+    def _spanning_tree_adjacency(self) -> tuple[frozenset[int], ...]:
+        """BFS spanning tree (from node 0) as an adjacency structure."""
+        adj: list[set[int]] = [set() for _ in range(self.n)]
+        seen = {0}
+        frontier = deque([0])
+        while frontier:
+            u = frontier.popleft()
+            for v in sorted(self.adjacency[u]):
+                if v not in seen:
+                    seen.add(v)
+                    adj[u].add(v)
+                    adj[v].add(u)
+                    frontier.append(v)
+        return tuple(frozenset(s) for s in adj)
+
+    def linear_embedding(self) -> LinearEmbedding:
+        """Embed the ``n``-node linear array into ``G`` with dilation <= 3.
+
+        When the graph has a Hamiltonian path the embedding is simply that
+        path (dilation 1, congestion 1).  Otherwise the classic
+        spanning-tree construction behind Sekanina's theorem ("the cube of a
+        connected graph is Hamiltonian") is used:
+
+        build ``P(v, T)`` = an ordering of subtree ``T`` rooted at ``v`` that
+        *starts* at ``v`` and *ends* at a child of ``v``; recursively,
+        ``P(v) = [v] + reversed(P(c_1)) + ... + reversed(P(c_k))`` where
+        ``reversed(P(c))`` starts at ``P(c)``'s end (a grandchild of ``v`` at
+        tree distance <= 2) and ends at ``c``.  Every consecutive pair in the
+        result is then at tree distance <= 3, which certifies dilation <= 3
+        in ``G`` itself.  The paper's §2 invokes exactly this bound (citing
+        Leighton) to make the algorithm labelling-agnostic.
+        """
+        ham = self.hamiltonian_path
+        if ham is not None:
+            paths = tuple((ham[i], ham[i + 1]) for i in range(self.n - 1))
+            return LinearEmbedding(order=ham, paths=paths, dilation=1, congestion=1)
+        return self._embedding_from_order(self.tree_linear_order)
+
+    @cached_property
+    def tree_linear_order(self) -> tuple[int, ...]:
+        """The Sekanina spanning-tree order (dilation <= 3), ending at a
+        neighbour of its first node — so it also closes into a ring with
+        dilation <= 3 (used by :func:`repro.graphs.embeddings.cycle_embedding`
+        when no short-closing Hamiltonian path exists)."""
+        tree = self._spanning_tree_adjacency
+
+        def order_subtree(v: int, parent: int) -> list[int]:
+            children = sorted(c for c in tree[v] if c != parent)
+            out = [v]
+            for c in children:
+                out.extend(reversed(order_subtree(c, v)))
+            return out
+
+        order = tuple(order_subtree(0, -1))
+        assert sorted(order) == list(range(self.n))
+        return order
+
+    def _embedding_from_order(self, order: tuple[int, ...]) -> LinearEmbedding:
+        """Package a node order as an embedding with measured dilation and
+        congestion (paths routed along BFS shortest paths)."""
+        paths = tuple(
+            self.shortest_path(order[i], order[i + 1]) for i in range(self.n - 1)
+        )
+        dilation = max((len(p) - 1 for p in paths), default=0)
+        usage: dict[tuple[int, int], int] = {}
+        for p in paths:
+            for a, b in zip(p, p[1:]):
+                key = (min(a, b), max(a, b))
+                usage[key] = usage.get(key, 0) + 1
+        congestion = max(usage.values(), default=0)
+        return LinearEmbedding(order=order, paths=paths, dilation=dilation, congestion=congestion)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export to a :class:`networkx.Graph` (for inspection/visualisation)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(self.edges)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FactorGraph({self.name!r}, n={self.n}, edges={len(self.edges)})"

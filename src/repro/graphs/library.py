@@ -1,0 +1,406 @@
+"""Factory functions for the factor graphs used in the paper (§5).
+
+Every product network the paper evaluates is the homogeneous product of one
+of these factors:
+
+* :func:`path_graph` — grids (§5.1);
+* :func:`complete_binary_tree` — mesh-connected trees (§5.2);
+* :func:`k2` — hypercubes (§5.3, ``N = 2``);
+* :func:`petersen_graph` — Petersen cubes / folded Petersen networks (§5.4);
+* :func:`de_bruijn_graph` and :func:`shuffle_exchange_graph` — products of
+  de Bruijn / shuffle-exchange networks (§5.5);
+* :func:`cycle_graph` — tori, the substrate of the Corollary's universal
+  ``18(r-1)^2 N`` bound;
+* :func:`complete_graph`, :func:`star_graph`, :func:`wheel_graph`,
+  :func:`random_connected_graph` — extra factors exercising the "works for
+  *any* connected G" claim (the algorithm's correctness never depends on the
+  topology, only its cost does).
+
+Wherever a Hamiltonian path is known in closed form the factory supplies it
+as a hint so labels can follow it (paper §2's recommended labelling) without
+running the exponential search.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import FactorGraph
+
+__all__ = [
+    "path_graph",
+    "complete_bipartite_graph",
+    "circulant_graph",
+    "caterpillar_graph",
+    "hypercube_factor",
+    "grid_2d_factor",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "wheel_graph",
+    "complete_binary_tree",
+    "k2",
+    "petersen_graph",
+    "de_bruijn_graph",
+    "shuffle_exchange_graph",
+    "random_connected_graph",
+    "FACTOR_FACTORIES",
+]
+
+
+def path_graph(n: int) -> FactorGraph:
+    """The ``n``-node linear array ``0 - 1 - ... - n-1``.
+
+    Its r-dimensional product is the ``n x ... x n`` grid of §5.1.  Labels
+    trivially follow the Hamiltonian path, so ``R(N) <= N - 1`` (one
+    odd-even-transposition-style sweep) and snake steps are single links.
+    """
+    if n < 1:
+        raise ValueError("path needs at least 1 node")
+    return FactorGraph.from_edge_list(
+        n,
+        [(i, i + 1) for i in range(n - 1)],
+        name=f"path({n})",
+        hamiltonian_hint=range(n),
+    )
+
+
+def cycle_graph(n: int) -> FactorGraph:
+    """The ``n``-node cycle; its product is the torus (Corollary substrate).
+
+    Permutation routing on a cycle needs at most ``floor(n/2)`` steps, the
+    value the Corollary plugs into Theorem 1.
+    """
+    if n < 3:
+        raise ValueError("cycle needs at least 3 nodes")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return FactorGraph.from_edge_list(n, edges, name=f"cycle({n})", hamiltonian_hint=range(n))
+
+
+def complete_graph(n: int) -> FactorGraph:
+    """The complete graph ``K_n`` — the cheapest possible factor:
+    every permutation routes in one step, every snake step is a link."""
+    if n < 2:
+        raise ValueError("complete graph needs at least 2 nodes")
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return FactorGraph.from_edge_list(n, edges, name=f"K{n}", hamiltonian_hint=range(n))
+
+
+def star_graph(n: int) -> FactorGraph:
+    """The ``n``-node star (hub 0).  Has no Hamiltonian path for ``n >= 4``,
+    so it exercises the dilation-3 embedding fallback of §2."""
+    if n < 2:
+        raise ValueError("star needs at least 2 nodes")
+    return FactorGraph.from_edge_list(n, [(0, i) for i in range(1, n)], name=f"star({n})")
+
+
+def wheel_graph(n: int) -> FactorGraph:
+    """The wheel: hub 0 joined to an ``(n-1)``-cycle ``1..n-1``.
+
+    Hamiltonian (hub inserted anywhere on the rim), small diameter; a handy
+    "easy" factor distinct from the complete graph.
+    """
+    if n < 4:
+        raise ValueError("wheel needs at least 4 nodes")
+    rim = list(range(1, n))
+    edges = [(0, i) for i in rim]
+    edges += [(rim[i], rim[(i + 1) % len(rim)]) for i in range(len(rim))]
+    hint = [0] + rim
+    return FactorGraph.from_edge_list(n, edges, name=f"wheel({n})", hamiltonian_hint=hint)
+
+
+def complete_binary_tree(height: int) -> FactorGraph:
+    """The complete binary tree of the given height (``2**(height+1) - 1``
+    nodes, heap-indexed: children of ``i`` are ``2i+1`` and ``2i+2``).
+
+    Its product is the mesh-connected-trees network of §5.2.  For
+    ``height >= 2`` the tree is not a path and therefore has no Hamiltonian
+    path; the sorting algorithm then relies on the dilation-3 linear
+    embedding, exactly the situation §4 discusses ("if G is not Hamiltonian
+    (e.g., a complete binary tree) ... permutation routing within G may be
+    used").
+    """
+    if height < 0:
+        raise ValueError("height must be >= 0")
+    n = 2 ** (height + 1) - 1
+    edges = []
+    for i in range(n):
+        for c in (2 * i + 1, 2 * i + 2):
+            if c < n:
+                edges.append((i, c))
+    hint = range(n) if height <= 1 else None  # 1- and 3-node trees are paths
+    if height == 1:
+        hint = (1, 0, 2)
+    return FactorGraph.from_edge_list(n, edges, name=f"cbt(h={height})", hamiltonian_hint=hint)
+
+
+def k2() -> FactorGraph:
+    """The single-edge graph ``K_2``: the hypercube's factor (§5.3, N = 2)."""
+    return FactorGraph.from_edge_list(2, [(0, 1)], name="K2", hamiltonian_hint=(0, 1))
+
+
+def petersen_graph() -> FactorGraph:
+    """The Petersen graph (§5.4, Fig. 16): outer 5-cycle ``0..4``, inner
+    pentagram ``5..9``, spokes ``i - i+5``.
+
+    The Petersen graph is hypohamiltonian — no Hamiltonian *cycle*, but it
+    does contain Hamiltonian *paths*; one is supplied as the labelling hint
+    (verified at construction), which is what §5.4 uses when claiming its
+    two-dimensional product contains the 10x10 grid.
+    """
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    spokes = [(i, i + 5) for i in range(5)]
+    # One explicit Hamiltonian path, checked by FactorGraph.from_edge_list:
+    # 0-1-2-3-4 on the rim is wrong (4-9-... needed); use a known path.
+    hint = (0, 1, 6, 8, 5, 7, 9, 4, 3, 2)
+    return FactorGraph.from_edge_list(
+        10, outer + inner + spokes, name="petersen", hamiltonian_hint=hint
+    )
+
+
+def _de_bruijn_sequence(order: int) -> list[int]:
+    """Binary de Bruijn sequence via the standard "prefer-one" greedy walk."""
+    n = 1 << order
+    seen = {0: True}
+    window = 0
+    mask = n - 1
+    bits: list[int] = []
+    for _ in range(n):
+        for bit in (1, 0):
+            nxt = ((window << 1) | bit) & mask
+            if nxt not in seen:
+                seen[nxt] = True
+                bits.append(bit)
+                window = nxt
+                break
+        else:  # both successors seen; close the cycle with a forced step
+            bits.append(0)
+            window = (window << 1) & mask
+    return bits
+
+
+def de_bruijn_graph(order: int) -> FactorGraph:
+    """The undirected binary de Bruijn graph ``B(2, order)`` on ``2**order``
+    nodes (§5.5).
+
+    Node ``u`` connects to ``(2u) mod n``, ``(2u+1) mod n`` and their
+    reverse-shift counterparts; self-loops are dropped.  A Hamiltonian cycle
+    exists for every order (it is the de Bruijn sequence itself: an Eulerian
+    cycle of ``B(2, order-1)``); a path extracted from it is supplied as the
+    labelling hint.
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    n = 1 << order
+    edges = []
+    for u in range(n):
+        for v in ((2 * u) % n, (2 * u + 1) % n):
+            if u != v:
+                edges.append((u, v))
+    if order == 1:
+        hint: list[int] | None = [0, 1]
+    else:
+        bits = _de_bruijn_sequence(order)
+        window = 0
+        for b in bits[:order]:
+            window = (window << 1) | b
+        mask = n - 1
+        hint = [window]
+        for b in bits[order:] + bits[:order]:
+            window = ((window << 1) | b) & mask
+            hint.append(window)
+        hint = hint[: n]
+        if sorted(hint) != list(range(n)):  # pragma: no cover - safety net
+            hint = None
+    return FactorGraph.from_edge_list(n, edges, name=f"debruijn({order})", hamiltonian_hint=hint)
+
+
+def shuffle_exchange_graph(order: int) -> FactorGraph:
+    """The binary shuffle-exchange graph on ``2**order`` nodes (§5.5).
+
+    Edges: *exchange* (flip lowest bit) and *shuffle* (cyclic left rotation
+    of the ``order``-bit label).  Shuffle self-loops (all-zero / all-one
+    labels) are dropped.  No Hamiltonian hint is supplied — §5.5 reaches it
+    through emulation results, and the embedding fallback covers labelling.
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    n = 1 << order
+    mask = n - 1
+    edges = []
+    for u in range(n):
+        ex = u ^ 1
+        edges.append((u, ex))
+        sh = ((u << 1) | (u >> (order - 1))) & mask
+        if sh != u:
+            edges.append((u, sh))
+    return FactorGraph.from_edge_list(n, edges, name=f"shuffle-exchange({order})")
+
+
+def random_connected_graph(n: int, extra_edge_prob: float = 0.3, seed: int | None = None) -> FactorGraph:
+    """A random connected graph: a random spanning tree plus Bernoulli extras.
+
+    The flagship "portability" test factor: the paper's algorithm must sort
+    on the product of *any* connected graph, so tests and the Corollary
+    benchmark draw factors from this distribution.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    if not 0.0 <= extra_edge_prob <= 1.0:
+        raise ValueError("extra_edge_prob must be a probability")
+    rng = random.Random(seed)
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    edges = set()
+    for i in range(1, n):
+        j = rng.randrange(i)  # attach to a random earlier node: random tree
+        edges.add((min(nodes[i], nodes[j]), max(nodes[i], nodes[j])))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if (u, v) not in edges and rng.random() < extra_edge_prob:
+                edges.add((u, v))
+    return FactorGraph.from_edge_list(n, edges, name=f"random({n}, seed={seed})")
+
+
+def complete_bipartite_graph(a: int, b: int) -> FactorGraph:
+    """The complete bipartite graph ``K_{a,b}`` (parts ``0..a-1`` and
+    ``a..a+b-1``).
+
+    Hamiltonian path exists iff ``|a - b| <= 1`` (supplied as a hint in that
+    case by zig-zagging between the parts); otherwise the embedding fallback
+    applies — a structured family interpolating between the star (b = 1
+    side) and dense graphs.
+    """
+    if a < 1 or b < 1:
+        raise ValueError("both parts need at least one node")
+    n = a + b
+    edges = [(i, a + j) for i in range(a) for j in range(b)]
+    hint = None
+    if abs(a - b) <= 1 and n >= 2:
+        big, small = (range(a), range(a, n)) if a >= b else (range(a, n), range(a))
+        big, small = list(big), list(small)
+        hint = []
+        for i in range(n):
+            hint.append(big[i // 2] if i % 2 == 0 else small[i // 2])
+    return FactorGraph.from_edge_list(n, edges, name=f"K{a},{b}", hamiltonian_hint=hint)
+
+
+def circulant_graph(n: int, offsets: tuple[int, ...] = (1, 2)) -> FactorGraph:
+    """The circulant ``C_n(offsets)``: node ``i`` joined to ``i +- s mod n``
+    for each offset ``s``.
+
+    Always Hamiltonian when ``1`` is among the offsets (the ring itself);
+    richer connectivity lowers routing and emulation costs — a tunable
+    family for cost-model experiments.
+    """
+    if n < 3:
+        raise ValueError("circulant needs at least 3 nodes")
+    offsets = tuple(sorted({s % n for s in offsets} - {0}))
+    if not offsets:
+        raise ValueError("need at least one nonzero offset")
+    edges = []
+    for i in range(n):
+        for s in offsets:
+            edges.append((i, (i + s) % n))
+    hint = range(n) if 1 in offsets else None
+    return FactorGraph.from_edge_list(
+        n, edges, name=f"circulant({n},{offsets})", hamiltonian_hint=hint
+    )
+
+
+def caterpillar_graph(spine: int, legs_per_node: int = 1) -> FactorGraph:
+    """A caterpillar tree: a spine path with ``legs_per_node`` leaves per
+    spine node.
+
+    Caterpillars are exactly the trees whose square is Hamiltonian — the
+    natural "slightly harder than a path, much easier than a complete
+    binary tree" factor for labelling experiments.  No Hamiltonian path
+    exists once any spine node has a leg (unless the caterpillar is a path),
+    so the dilation-3 embedding is exercised with dilation 2 in practice.
+    """
+    if spine < 1 or legs_per_node < 0:
+        raise ValueError("need spine >= 1 and legs_per_node >= 0")
+    n = spine * (1 + legs_per_node)
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    leaf = spine
+    for i in range(spine):
+        for _ in range(legs_per_node):
+            edges.append((i, leaf))
+            leaf += 1
+    name = f"caterpillar({spine}x{legs_per_node})"
+    hint = range(n) if legs_per_node == 0 else None
+    return FactorGraph.from_edge_list(n, edges, name=name, hamiltonian_hint=hint)
+
+
+def hypercube_factor(dim: int) -> FactorGraph:
+    """The ``dim``-dimensional binary hypercube as a *factor* graph
+    (``2**dim`` nodes).
+
+    Its products are hypercubes again (products of products), but treating
+    a whole cube as the factor changes the cost model: ``N = 2**dim`` is no
+    longer constant, labels follow a binary-reflected Gray code (the cube's
+    canonical Hamiltonian path), and the §5.1 grid-subgraph sorter applies.
+    Useful for checking that the framework treats "the same" network
+    differently under different factorisations.
+    """
+    if dim < 1:
+        raise ValueError("dimension must be >= 1")
+    n = 1 << dim
+    edges = []
+    for u in range(n):
+        for b in range(dim):
+            v = u ^ (1 << b)
+            if v > u:
+                edges.append((u, v))
+    # binary-reflected Gray code = Hamiltonian path with labels in Gray order
+    hint = [g ^ (g >> 1) for g in range(n)]
+    return FactorGraph.from_edge_list(n, edges, name=f"Q{dim}", hamiltonian_hint=hint)
+
+
+def grid_2d_factor(rows: int, cols: int) -> FactorGraph:
+    """A ``rows x cols`` 2-D mesh as a factor graph (boustrophedon-labelled).
+
+    Labels follow the snake of the mesh (a Hamiltonian path), so products of
+    meshes get grid-quality costs.  Lets experiments build e.g. the product
+    of two meshes — a 4-dimensional grid with a 2-level factorisation.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs positive dimensions")
+
+    def node(i: int, j: int) -> int:
+        # boustrophedon labelling: row i reversed when odd
+        return i * cols + (j if i % 2 == 0 else cols - 1 - j)
+
+    edges = []
+    for i in range(rows):
+        for j in range(cols):
+            if j + 1 < cols:
+                edges.append((node(i, j), node(i, j + 1)))
+            if i + 1 < rows:
+                edges.append((node(i, j), node(i + 1, j)))
+    n = rows * cols
+    return FactorGraph.from_edge_list(
+        n, edges, name=f"mesh({rows}x{cols})", hamiltonian_hint=range(n)
+    )
+
+
+#: Name -> zero-argument factory for a small representative instance of each
+#: topology, used by parametric tests and the CLI.
+FACTOR_FACTORIES = {
+    "path4": lambda: path_graph(4),
+    "cycle5": lambda: cycle_graph(5),
+    "complete4": lambda: complete_graph(4),
+    "star5": lambda: star_graph(5),
+    "wheel6": lambda: wheel_graph(6),
+    "cbt2": lambda: complete_binary_tree(2),
+    "k2": k2,
+    "petersen": petersen_graph,
+    "debruijn3": lambda: de_bruijn_graph(3),
+    "shuffle-exchange3": lambda: shuffle_exchange_graph(3),
+    "k23": lambda: complete_bipartite_graph(2, 3),
+    "circulant6": lambda: circulant_graph(6),
+    "caterpillar3x1": lambda: caterpillar_graph(3, 1),
+    "q2-factor": lambda: hypercube_factor(2),
+    "mesh2x3": lambda: grid_2d_factor(2, 3),
+}

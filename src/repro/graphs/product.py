@@ -1,0 +1,240 @@
+"""Homogeneous product networks ``PG_r`` (paper §2, Definition 1).
+
+Given an ``N``-node factor graph ``G``, the r-dimensional homogeneous
+product ``PG_r`` has node set ``{0..N-1}**r`` and an edge between labels
+``x`` and ``y`` iff they differ in exactly one symbol position ``i`` and
+``(x_i, y_i)`` is an edge of ``G``.  Hypercubes (``G = K_2``), grids
+(``G`` = path), tori (``G`` = cycle), Petersen cubes and mesh-connected trees
+are all instances.
+
+Node labels follow the package-wide convention ``(x_r, ..., x_1)`` — leftmost
+symbol first, paper position ``i`` at tuple index ``r - i``.  The *flat
+index* of a node is the mixed-radix value of its tuple (NumPy C-order of the
+``(N,)*r`` key lattice), so lattice entry ``A[label]`` and flat arrays used
+by the machine simulator address the same processor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+from functools import cached_property
+from itertools import product as iter_product
+
+from .base import FactorGraph
+
+__all__ = ["ProductGraph", "SubgraphView"]
+
+
+@dataclass(frozen=True)
+class SubgraphView:
+    """A ``[u_1, ..., u_t]PG^{i_1, ..., i_t}_{r-t}`` subgraph (paper §2).
+
+    Obtained by erasing dimensions ``i_1..i_t`` from ``PG_r`` and keeping the
+    nodes whose labels carry the fixed values at those positions.  The view
+    records both the surviving full labels and the *reduced* labels (fixed
+    positions deleted), which form a ``PG_{r-t}`` product over the same
+    factor.
+    """
+
+    parent: "ProductGraph"
+    #: paper positions (1 = rightmost) that were erased, ascending
+    positions: tuple[int, ...]
+    #: fixed symbol values, aligned with :attr:`positions`
+    values: tuple[int, ...]
+
+    @cached_property
+    def reduced_order(self) -> int:
+        """Number of remaining dimensions ``r - t``."""
+        return self.parent.r - len(self.positions)
+
+    @cached_property
+    def _erased_indices(self) -> tuple[int, ...]:
+        return tuple(self.parent.r - p for p in self.positions)
+
+    def full_label(self, reduced: tuple[int, ...]) -> tuple[int, ...]:
+        """Re-insert the fixed symbols into a reduced label."""
+        if len(reduced) != self.reduced_order:
+            raise ValueError("reduced label has wrong length")
+        label = list(reduced)
+        # insert from the most significant erased index down so earlier
+        # insertions do not shift later targets
+        pairs = sorted(zip(self._erased_indices, self.values))
+        for idx, val in pairs:
+            label.insert(idx, val)
+        return tuple(label)
+
+    def reduced_label(self, full: tuple[int, ...]) -> tuple[int, ...]:
+        """Delete the fixed positions from a full label (validating them)."""
+        if len(full) != self.parent.r:
+            raise ValueError("full label has wrong length")
+        for idx, val in zip(self._erased_indices, self.values):
+            if full[idx] != val:
+                raise ValueError(
+                    f"label {full} does not belong to subgraph {self.positions}={self.values}"
+                )
+        erased = set(self._erased_indices)
+        return tuple(sym for i, sym in enumerate(full) if i not in erased)
+
+    def nodes(self) -> Iterator[tuple[int, ...]]:
+        """Iterate the full labels of the subgraph's nodes."""
+        n = self.parent.factor.n
+        for reduced in iter_product(range(n), repeat=self.reduced_order):
+            yield self.full_label(reduced)
+
+    def as_product_graph(self) -> "ProductGraph":
+        """The abstract ``PG_{r-t}`` this view is isomorphic to."""
+        return ProductGraph(self.parent.factor, self.reduced_order)
+
+
+@dataclass(frozen=True)
+class ProductGraph:
+    """The r-dimensional homogeneous product of a factor graph."""
+
+    factor: FactorGraph
+    r: int
+
+    def __post_init__(self) -> None:
+        if self.r < 1:
+            raise ValueError(f"product order r must be >= 1, got {self.r}")
+        if self.factor.n < 2:
+            raise ValueError("factor graph must have at least 2 nodes")
+
+    # ------------------------------------------------------------------
+    # size and shape
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Factor size ``N``."""
+        return self.factor.n
+
+    @property
+    def num_nodes(self) -> int:
+        """``N**r`` — one key per node in the sorting model."""
+        return self.factor.n**self.r
+
+    @property
+    def num_edges(self) -> int:
+        """``r * |E_G| * N**(r-1)`` (each dimension contributes a copy of
+        ``G`` per setting of the other ``r-1`` symbols)."""
+        return self.r * len(self.factor.edges) * self.factor.n ** (self.r - 1)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Key-lattice shape ``(N,)*r``."""
+        return (self.factor.n,) * self.r
+
+    # ------------------------------------------------------------------
+    # labels and indices
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[tuple[int, ...]]:
+        """Iterate all node labels in flat-index (C lexicographic) order."""
+        return iter_product(range(self.factor.n), repeat=self.r)
+
+    def flat_index(self, label: tuple[int, ...]) -> int:
+        """Mixed-radix flat index of a label (C order of the key lattice)."""
+        if len(label) != self.r:
+            raise ValueError(f"label {label} has wrong length for r={self.r}")
+        idx = 0
+        for sym in label:
+            if not 0 <= sym < self.factor.n:
+                raise ValueError(f"symbol {sym} out of range in {label}")
+            idx = idx * self.factor.n + sym
+        return idx
+
+    def label_of(self, index: int) -> tuple[int, ...]:
+        """Inverse of :meth:`flat_index`."""
+        if not 0 <= index < self.num_nodes:
+            raise ValueError(f"flat index {index} out of range")
+        out = []
+        for _ in range(self.r):
+            index, sym = divmod(index, self.factor.n)
+            out.append(sym)
+        return tuple(reversed(out))
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def differing_dimension(self, x: tuple[int, ...], y: tuple[int, ...]) -> int | None:
+        """Paper position (1-based from the right) of the unique differing
+        symbol, or ``None`` if the labels differ in zero or several places."""
+        if len(x) != self.r or len(y) != self.r:
+            raise ValueError("labels must have length r")
+        where = [i for i, (a, b) in enumerate(zip(x, y)) if a != b]
+        if len(where) != 1:
+            return None
+        return self.r - where[0]
+
+    def is_edge(self, x: tuple[int, ...], y: tuple[int, ...]) -> bool:
+        """Definition 1: unit symbol difference along a factor edge."""
+        pos = self.differing_dimension(x, y)
+        if pos is None:
+            return False
+        idx = self.r - pos
+        return self.factor.has_edge(x[idx], y[idx])
+
+    def neighbors(self, x: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+        """Iterate the neighbours of a node label."""
+        for idx in range(self.r):
+            for sym in self.factor.neighbors(x[idx]):
+                yield x[:idx] + (sym,) + x[idx + 1 :]
+
+    def degree(self, x: tuple[int, ...]) -> int:
+        """Node degree = sum over symbols of their factor degrees."""
+        return sum(self.factor.degree(sym) for sym in x)
+
+    def edges(self) -> Iterator[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """Iterate each undirected edge once (smaller flat index first)."""
+        for x in self.nodes():
+            ix = self.flat_index(x)
+            for y in self.neighbors(x):
+                if self.flat_index(y) > ix:
+                    yield x, y
+
+    # ------------------------------------------------------------------
+    # subgraphs
+    # ------------------------------------------------------------------
+    def subgraph(self, positions, values) -> SubgraphView:
+        """The ``[values]PG^{positions}`` view (paper notation).
+
+        ``positions`` are paper positions (1 = rightmost symbol); ``values``
+        the fixed symbols at those positions.
+        """
+        positions = tuple(positions)
+        values = tuple(values)
+        if len(positions) != len(values):
+            raise ValueError("positions and values must align")
+        if len(set(positions)) != len(positions):
+            raise ValueError("positions must be distinct")
+        for p in positions:
+            if not 1 <= p <= self.r:
+                raise ValueError(f"position {p} out of range 1..{self.r}")
+        for v in values:
+            if not 0 <= v < self.factor.n:
+                raise ValueError(f"value {v} out of range")
+        order = sorted(range(len(positions)), key=lambda i: positions[i])
+        return SubgraphView(
+            parent=self,
+            positions=tuple(positions[i] for i in order),
+            values=tuple(values[i] for i in order),
+        )
+
+    def dimension_copies(self, position: int) -> list[SubgraphView]:
+        """The ``N`` subgraphs ``[u]PG^{position}_{r-1}``, ``u = 0..N-1`` —
+        what you get by erasing one dimension (paper Fig. 2)."""
+        return [self.subgraph((position,), (u,)) for u in range(self.factor.n)]
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export to :class:`networkx.Graph` with tuple-labelled nodes."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self.nodes())
+        g.add_edges_from(self.edges())
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProductGraph({self.factor.name}, r={self.r}, nodes={self.num_nodes})"

@@ -1,0 +1,150 @@
+"""A synchronous product-network multiprocessor, simulated (paper §4 model).
+
+Each node of ``PG_r`` holds exactly one key.  In one synchronous round every
+node may participate in at most one compare-exchange with a partner in a
+common factor subgraph — a single link traversal when the partners are
+adjacent, a permutation-routing episode (cost measured by
+:mod:`repro.machine.routing`) when they are not.  "During the sorting
+algorithm, each processor needs enough memory to hold at most two values
+being compared" (§4); the machine enforces the one-key-per-node invariant
+and validates that every requested operation is actually realisable on the
+network's links.
+
+This simulator is deliberately *slow but exact*: it exists to certify that
+every data movement performed by the faster NumPy lattice implementation is
+legal on the physical topology, and to measure true round counts including
+routing congestion.  Benchmarks at scale use the lattice implementation;
+cross-checks at small ``N, r`` use this one.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..graphs.product import ProductGraph
+from .routing import exchange_rounds
+
+__all__ = ["NetworkMachine"]
+
+Label = tuple[int, ...]
+
+
+class NetworkMachine:
+    """State and operation log of one simulated product-network machine.
+
+    Parameters
+    ----------
+    network:
+        The :class:`ProductGraph` being simulated.
+    keys:
+        Initial key of every node, as a flat array in the node's
+        :meth:`ProductGraph.flat_index` order (C order of the key lattice).
+    """
+
+    def __init__(self, network: ProductGraph, keys) -> None:
+        self.network = network
+        keys = np.asarray(keys)
+        if keys.shape != (network.num_nodes,):
+            raise ValueError(
+                f"need one key per node: expected shape ({network.num_nodes},), got {keys.shape}"
+            )
+        self.keys = keys.copy()
+        #: synchronous rounds elapsed (compare-exchange + routing)
+        self.rounds = 0
+        #: total key comparisons performed
+        self.comparisons = 0
+        #: number of compare-exchange super-steps issued
+        self.operations = 0
+        #: optional :class:`~repro.machine.stats.TrafficRecorder`
+        self.recorder = None
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def lattice(self) -> np.ndarray:
+        """Current keys as an ``(N,)*r`` lattice indexed by node label."""
+        return self.keys.reshape(self.network.shape)
+
+    def key_at(self, label: Label):
+        """Key currently held by the node with the given label."""
+        return self.keys[self.network.flat_index(label)]
+
+    # ------------------------------------------------------------------
+    # the one communication primitive
+    # ------------------------------------------------------------------
+    def compare_exchange(self, pairs: list[tuple[Label, Label]]) -> int:
+        """One parallel compare-exchange super-step.
+
+        ``pairs`` lists ``(lo_label, hi_label)`` node pairs; after the step
+        the ``lo`` node of each pair holds the smaller key and the ``hi``
+        node the larger.  All pairs execute simultaneously.  Validation
+        enforces the §4 model:
+
+        * pairs are disjoint (a node compares at most once per step), and
+        * the two nodes of a pair differ in exactly one symbol position —
+          i.e. they lie in a common ``G`` subgraph, the only place the
+          algorithm ever compares.
+
+        The charged cost is 1 round when every pair is a network edge;
+        otherwise the pairs are grouped by the ``G`` subgraph they live in,
+        each subgraph's simultaneous two-way key exchange is routed by
+        :func:`repro.machine.routing.exchange_rounds`, and the step costs the
+        worst subgraph's makespan (all subgraphs route concurrently — they
+        are link-disjoint by construction).
+
+        Returns the rounds charged (also accumulated on :attr:`rounds`).
+        """
+        if not pairs:
+            return 0
+        net = self.network
+        seen: set[int] = set()
+        # (dimension index, frozen rest-of-label) -> list of (sym_a, sym_b, flat_a, flat_b)
+        by_subgraph: dict[tuple[int, Label], list[tuple[int, int, int, int]]] = defaultdict(list)
+        all_adjacent = True
+        for lo, hi in pairs:
+            ia, ib = net.flat_index(lo), net.flat_index(hi)
+            if ia == ib or ia in seen or ib in seen:
+                raise ValueError(f"pairs must be disjoint; offending pair {lo}, {hi}")
+            seen.add(ia)
+            seen.add(ib)
+            diff = [i for i, (a, b) in enumerate(zip(lo, hi)) if a != b]
+            if len(diff) != 1:
+                raise ValueError(
+                    f"compare-exchange partners must share a G subgraph "
+                    f"(differ in exactly one position): {lo} vs {hi}"
+                )
+            d = diff[0]
+            rest = lo[:d] + lo[d + 1 :]
+            by_subgraph[(d, rest)].append((lo[d], hi[d], ia, ib))
+            if not net.factor.has_edge(lo[d], hi[d]):
+                all_adjacent = False
+
+        if all_adjacent:
+            cost = 1
+        else:
+            cost = 0
+            for (_, _), items in by_subgraph.items():
+                local_pairs = [(sa, sb) for sa, sb, _, _ in items]
+                cost = max(cost, exchange_rounds(net.factor, local_pairs))
+
+        # execute the exchanges
+        for items in by_subgraph.values():
+            for _, _, ia, ib in items:
+                a, b = self.keys[ia], self.keys[ib]
+                if b < a:
+                    self.keys[ia], self.keys[ib] = b, a
+        self.comparisons += len(pairs)
+        self.rounds += cost
+        self.operations += 1
+        if self.recorder is not None:
+            self.recorder.record(pairs, cost)
+        return cost
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NetworkMachine({self.network!r}, rounds={self.rounds}, "
+            f"comparisons={self.comparisons})"
+        )

@@ -1,0 +1,113 @@
+"""Traffic instrumentation for the fine-grained machine.
+
+Answers the network-architecture questions the cost ledger abstracts away:
+which dimensions carry the sorting traffic, how evenly the links are used,
+and how much of the machine's parallelism the algorithm actually exploits.
+Attach a :class:`TrafficRecorder` to a :class:`NetworkMachine` and read its
+:meth:`TrafficRecorder.stats` after a run:
+
+>>> machine = NetworkMachine(network, keys)
+>>> machine.recorder = TrafficRecorder(network)
+>>> MachineSorter(network).sort(keys)        # doctest: +SKIP
+>>> machine.recorder.stats().dimension_ops   # doctest: +SKIP
+
+Findings this surfaces (see ``benchmarks/bench_traffic.py``): the
+multiway-merge sort touches dimension 1 far more than the others (all the
+2-D base sorts live on dimensions {1, 2}), and the per-step parallelism
+tracks the phase structure — base sorts use ~half the nodes per round,
+block transpositions all of them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..graphs.product import ProductGraph
+
+__all__ = ["TrafficStats", "TrafficRecorder"]
+
+Label = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TrafficStats:
+    """Aggregated traffic of one machine run."""
+
+    #: compare-exchange super-steps observed
+    operations: int
+    #: total pairwise compare-exchanges
+    pair_count: int
+    #: pairs per paper-dimension (1 = rightmost symbol position)
+    dimension_ops: dict[int, int]
+    #: how many distinct factor-subgraph "lanes" each dimension used
+    dimension_lanes: dict[int, int]
+    #: mean pairs per super-step (parallelism actually exploited)
+    mean_parallelism: float
+    #: fraction of nodes busy in the busiest single super-step
+    peak_node_utilisation: float
+    #: adjacent pairs vs routed pairs (non-adjacent compare partners)
+    adjacent_pairs: int
+    routed_pairs: int
+
+
+@dataclass
+class TrafficRecorder:
+    """Collects per-step traffic when attached to a machine.
+
+    The machine calls :meth:`record` once per compare-exchange super-step
+    (the hook is a single line in ``NetworkMachine.compare_exchange``); the
+    recorder never mutates machine state.
+    """
+
+    network: ProductGraph
+    _dimension_ops: Counter = field(default_factory=Counter)
+    _dimension_lane_sets: dict[int, set] = field(default_factory=dict)
+    _pairs_per_step: list[int] = field(default_factory=list)
+    _adjacent: int = 0
+    _routed: int = 0
+
+    def record(self, pairs: list[tuple[Label, Label]], cost: int) -> None:
+        """Observe one super-step (called by the machine)."""
+        self._pairs_per_step.append(len(pairs))
+        r = self.network.r
+        factor = self.network.factor
+        for lo, hi in pairs:
+            diff = [i for i, (a, b) in enumerate(zip(lo, hi)) if a != b]
+            if len(diff) != 1:  # pragma: no cover - machine validates first
+                continue
+            idx = diff[0]
+            dimension = r - idx
+            self._dimension_ops[dimension] += 1
+            lane = (dimension, lo[:idx] + lo[idx + 1 :])
+            self._dimension_lane_sets.setdefault(dimension, set()).add(lane)
+            if factor.has_edge(lo[idx], hi[idx]):
+                self._adjacent += 1
+            else:
+                self._routed += 1
+
+    def stats(self) -> TrafficStats:
+        """Aggregate everything observed so far."""
+        operations = len(self._pairs_per_step)
+        pair_count = sum(self._pairs_per_step)
+        mean_parallelism = pair_count / operations if operations else 0.0
+        peak_pairs = max(self._pairs_per_step, default=0)
+        peak_util = 2 * peak_pairs / self.network.num_nodes if self.network.num_nodes else 0.0
+        return TrafficStats(
+            operations=operations,
+            pair_count=pair_count,
+            dimension_ops=dict(self._dimension_ops),
+            dimension_lanes={d: len(s) for d, s in self._dimension_lane_sets.items()},
+            mean_parallelism=mean_parallelism,
+            peak_node_utilisation=peak_util,
+            adjacent_pairs=self._adjacent,
+            routed_pairs=self._routed,
+        )
+
+    def reset(self) -> None:
+        """Forget everything (reuse across runs)."""
+        self._dimension_ops.clear()
+        self._dimension_lane_sets.clear()
+        self._pairs_per_step.clear()
+        self._adjacent = 0
+        self._routed = 0

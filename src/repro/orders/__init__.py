@@ -1,0 +1,64 @@
+"""Orderings used by the generalized sorting algorithm.
+
+* :mod:`repro.orders.gray` — N-ary reflected Gray-code sequences ``Q_r``
+  (paper Definition 3) with rank/unrank, subsequence extraction and group
+  sequences.
+* :mod:`repro.orders.snake` — snake order on ``PG_r`` key lattices (paper
+  Definition 2): lattice/sequence conversions and sortedness checks.
+"""
+
+from .gray import (
+    fixed_symbol_positions,
+    fixed_symbol_subsequence,
+    gray_next,
+    gray_rank,
+    gray_sequence,
+    gray_unrank,
+    group_sequence,
+    hamming_distance,
+    hamming_weight,
+    is_gray_sequence,
+    iter_gray_sequence,
+    rank_lattice,
+    rank_parity,
+    reflect_sequence,
+    subsequence_positions,
+)
+from .snake import (
+    block_view_dims12,
+    is_snake_sorted,
+    label_of_snake_rank,
+    lattice_shape,
+    lattice_to_sequence,
+    parity_lattice,
+    sequence_to_lattice,
+    snake_positions_of_block,
+    snake_rank_of_label,
+)
+
+__all__ = [
+    "fixed_symbol_positions",
+    "fixed_symbol_subsequence",
+    "gray_next",
+    "gray_rank",
+    "gray_sequence",
+    "gray_unrank",
+    "group_sequence",
+    "hamming_distance",
+    "hamming_weight",
+    "is_gray_sequence",
+    "iter_gray_sequence",
+    "rank_lattice",
+    "rank_parity",
+    "reflect_sequence",
+    "subsequence_positions",
+    "block_view_dims12",
+    "is_snake_sorted",
+    "label_of_snake_rank",
+    "lattice_shape",
+    "lattice_to_sequence",
+    "parity_lattice",
+    "sequence_to_lattice",
+    "snake_positions_of_block",
+    "snake_rank_of_label",
+]

@@ -1,0 +1,382 @@
+"""N-ary reflected Gray-code sequences (paper Section 2, Definition 3).
+
+The sorting algorithm of Fernandez & Efe defines the *sorted order* of the
+``N**r`` nodes of an r-dimensional product network ``PG_r`` through an N-ary
+reflected Gray-code sequence ``Q_r``:
+
+* ``Q_1 = (0, 1, ..., N-1)``
+* ``Q_r = CON{ [u]Q_{r-1} : u = 0, ..., N-1 }`` where ``[u]Q_{r-1}`` prefixes
+  every element of ``Q_{r-1}`` with ``u`` when ``u`` is even, and every
+  element of the *reversed* sequence ``R(Q_{r-1})`` with ``u`` when ``u`` is
+  odd.
+
+Two consecutive elements of ``Q_r`` always have unit Hamming distance (in the
+paper's metric ``D(s, z) = sum_i |s_i - z_i|``), which is what makes the
+order implementable with nearest-neighbour compare-exchange steps on a
+product network whose factor graph is labelled along a Hamiltonian path.
+
+Label convention
+----------------
+Throughout this package a node label is a tuple ``(x_r, ..., x_1)`` written
+*leftmost symbol first*, matching the paper's display order.  The paper
+indexes symbol positions ``1..r`` from the right, so *position* ``i``
+corresponds to tuple index ``r - i``.  Dimension ``r`` (the outermost
+recursion level of ``Q_r``) is tuple index ``0``.
+
+The module provides both scalar rank/unrank primitives (used by tests and by
+the fine-grained machine simulator) and vectorised NumPy rank lattices (used
+by the high-throughput lattice implementation of the sorting algorithm).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "gray_rank",
+    "gray_unrank",
+    "gray_sequence",
+    "iter_gray_sequence",
+    "gray_next",
+    "hamming_distance",
+    "hamming_weight",
+    "is_gray_sequence",
+    "rank_parity",
+    "rank_lattice",
+    "reflect_sequence",
+    "subsequence_positions",
+    "fixed_symbol_positions",
+    "fixed_symbol_subsequence",
+    "group_sequence",
+]
+
+
+def _validate_params(n: int, r: int) -> None:
+    """Validate a radix/dimension pair, raising ``ValueError`` otherwise."""
+    if n < 2:
+        raise ValueError(f"Gray-code radix N must be >= 2, got {n}")
+    if r < 1:
+        raise ValueError(f"Gray-code order r must be >= 1, got {r}")
+
+
+def _validate_label(label: Sequence[int], n: int) -> None:
+    """Validate that every symbol of *label* lies in ``range(n)``."""
+    for sym in label:
+        if not 0 <= sym < n:
+            raise ValueError(f"label symbol {sym} out of range for radix {n}: {tuple(label)}")
+
+
+def gray_rank(label: Sequence[int], n: int) -> int:
+    """Return the position of *label* in the Gray sequence ``Q_r``.
+
+    ``label`` is ``(x_r, ..., x_1)`` (leftmost symbol first).  The rank is
+    exactly the *snake-order position* of the node carrying this label in the
+    product network ``PG_r`` (paper Definition 2): when ``N**r`` keys are
+    sorted on ``PG_r``, the node labelled ``label`` holds the key of sorted
+    position ``gray_rank(label, N)``.
+
+    The computation unrolls Definition 3: scanning symbols from the left, a
+    running reflection parity tracks whether the remaining suffix is being
+    read forward or reversed.
+
+    >>> gray_rank((1, 0), 3)   # Q_2 = 00 01 02 12 11 10 20 21 22
+    5
+    >>> [gray_rank(lab, 3) for lab in [(0, 0), (0, 1), (0, 2), (1, 2)]]
+    [0, 1, 2, 3]
+    """
+    _validate_params(n, len(label))
+    _validate_label(label, n)
+    rank = 0
+    reflected = False
+    r = len(label)
+    for idx, sym in enumerate(label):
+        width = n ** (r - idx - 1)
+        digit = (n - 1 - sym) if reflected else sym
+        rank += digit * width
+        if sym % 2 == 1:
+            reflected = not reflected
+    return rank
+
+
+def gray_unrank(rank: int, n: int, r: int) -> tuple[int, ...]:
+    """Return the ``rank``-th element of ``Q_r`` as a tuple ``(x_r,...,x_1)``.
+
+    Inverse of :func:`gray_rank`:
+
+    >>> gray_unrank(5, 3, 2)
+    (1, 0)
+    >>> all(gray_rank(gray_unrank(p, 3, 3), 3) == p for p in range(27))
+    True
+    """
+    _validate_params(n, r)
+    if not 0 <= rank < n**r:
+        raise ValueError(f"rank {rank} out of range for Q_{r} with radix {n}")
+    label: list[int] = []
+    reflected = False
+    for idx in range(r):
+        width = n ** (r - idx - 1)
+        digit, rank = divmod(rank, width)
+        sym = (n - 1 - digit) if reflected else digit
+        label.append(sym)
+        if sym % 2 == 1:
+            reflected = not reflected
+    return tuple(label)
+
+
+def iter_gray_sequence(n: int, r: int) -> Iterator[tuple[int, ...]]:
+    """Yield the elements of ``Q_r`` in order without materialising the list.
+
+    Uses the incremental :func:`gray_next` stepping rule, so the whole
+    sequence costs ``O(N**r)`` amortised symbol updates rather than
+    ``O(r * N**r)`` unranking work.
+    """
+    _validate_params(n, r)
+    label = (0,) * r
+    yield label
+    for _ in range(n**r - 1):
+        label = gray_next(label, n)
+        yield label
+
+
+def gray_sequence(n: int, r: int) -> list[tuple[int, ...]]:
+    """Return the full Gray sequence ``Q_r`` as a list of label tuples.
+
+    >>> gray_sequence(3, 2)[:4]
+    [(0, 0), (0, 1), (0, 2), (1, 2)]
+    """
+    return list(iter_gray_sequence(n, r))
+
+
+def gray_next(label: Sequence[int], n: int) -> tuple[int, ...]:
+    """Return the successor of *label* in ``Q_r`` (unit Hamming distance away).
+
+    Raises ``ValueError`` when *label* is the last element of the sequence.
+
+    The successor is found by locating the innermost position whose digit can
+    advance given the current reflection parity of its suffix; this is the
+    standard reflected-Gray increment generalised to radix ``N``.
+    """
+    r = len(label)
+    _validate_params(n, r)
+    _validate_label(label, n)
+    # Compute, for each position, whether the suffix to its right is
+    # reflected (odd number of odd symbols strictly to the left).
+    label = list(label)
+    parities = []
+    reflected = False
+    for sym in label:
+        parities.append(reflected)
+        if sym % 2 == 1:
+            reflected = not reflected
+    # Scan from the innermost (rightmost) position outward looking for a
+    # digit that can still move in its current sweep direction.
+    for idx in range(r - 1, -1, -1):
+        direction = -1 if parities[idx] else 1
+        new_sym = label[idx] + direction
+        if 0 <= new_sym < n:
+            label[idx] = new_sym
+            return tuple(label)
+        # This position is exhausted in its sweep; moving a more significant
+        # digit will flip this suffix's reflection, so leave it in place.
+    raise ValueError(f"label {tuple(label)} is the final element of Q_{r}")
+
+
+def hamming_distance(a: Sequence[int | None], b: Sequence[int | None]) -> int:
+    """Paper's Hamming distance ``D(s, z) = sum_i |s_i - z_i|``.
+
+    Positions holding ``None`` (the paper's "all" symbol ``*``) are omitted
+    from the sum, exactly as in Section 2.
+
+    >>> hamming_distance((0, 1, 2), (0, 2, 2))
+    1
+    >>> hamming_distance((0, None, 2), (1, None, 2))
+    1
+    """
+    if len(a) != len(b):
+        raise ValueError("labels must have equal length")
+    total = 0
+    for sa, sb in zip(a, b):
+        if sa is None or sb is None:
+            if (sa is None) != (sb is None):
+                raise ValueError("'*' positions must agree between labels")
+            continue
+        total += abs(sa - sb)
+    return total
+
+
+def hamming_weight(label: Sequence[int | None]) -> int:
+    """Paper's Hamming weight ``W(s) = sum_i s_i`` (``*`` positions omitted).
+
+    The *parity* of the weight decides whether a (sub)graph is "even" or
+    "odd" in the Step-4 alternating block sorts.
+    """
+    return sum(sym for sym in label if sym is not None)
+
+
+def rank_parity(label: Sequence[int], n: int) -> int:
+    """Parity (0/1) of ``gray_rank(label, n)``.
+
+    For reflected Gray codes this equals ``hamming_weight(label) % 2``: the
+    rank-0 element has weight 0 and each rank increment changes exactly one
+    symbol by +-1.  The identity is exploited by the network implementation
+    (Section 4, Step 4) to decide sorting directions locally, without any
+    node knowing its global rank.
+    """
+    _validate_label(label, n)
+    return hamming_weight(label) % 2
+
+
+def is_gray_sequence(seq: Sequence[Sequence[int]], n: int) -> bool:
+    """Check that *seq* is a valid radix-``n`` Gray sequence of its length.
+
+    Validity means: all labels distinct, all drawn from ``range(n)**r``, and
+    every consecutive pair at unit Hamming distance.  (It need not be the
+    canonical ``Q_r``.)
+    """
+    if not seq:
+        return False
+    r = len(seq[0])
+    seen = set()
+    prev: tuple[int, ...] | None = None
+    for raw in seq:
+        label = tuple(raw)
+        if len(label) != r:
+            return False
+        try:
+            _validate_label(label, n)
+        except ValueError:
+            return False
+        if label in seen:
+            return False
+        seen.add(label)
+        if prev is not None and hamming_distance(prev, label) != 1:
+            return False
+        prev = label
+    return True
+
+
+def reflect_sequence(seq: Sequence[tuple[int, ...]]) -> list[tuple[int, ...]]:
+    """Return ``R(Q)``: the sequence listed in reverse order (paper notation)."""
+    return list(reversed(seq))
+
+
+@lru_cache(maxsize=64)
+def rank_lattice(n: int, r: int) -> np.ndarray:
+    """Vectorised snake ranks: array ``L`` of shape ``(n,)*r`` with
+    ``L[x_r, ..., x_1] == gray_rank((x_r, ..., x_1), n)``.
+
+    This is the workhorse lookup table of the lattice implementation: given a
+    key lattice ``A`` (keys indexed by node label), ``A_sorted = seq[L]``
+    places the ascending sequence ``seq`` on the network in snake order, and
+    ``out[L.ravel()] = A.ravel()`` reads a snake-ordered lattice back into a
+    flat sorted sequence.
+
+    Built by the recursion of Definition 3; cached because every sort on the
+    same ``(n, r)`` geometry reuses it.  The returned array is set read-only
+    to keep the cache safe against accidental in-place mutation.
+    """
+    _validate_params(n, r)
+    if r == 1:
+        lattice = np.arange(n, dtype=np.int64)
+    else:
+        sub = rank_lattice(n, r - 1)
+        block = n ** (r - 1)
+        lattice = np.empty((n,) + sub.shape, dtype=np.int64)
+        reflected = block - 1 - sub
+        for u in range(n):
+            lattice[u] = u * block + (sub if u % 2 == 0 else reflected)
+    lattice.setflags(write=False)
+    return lattice
+
+
+def subsequence_positions(n: int, r: int, u: int) -> list[int]:
+    """Positions within ``Q_r`` of the elements of ``[u]Q^1_{r-1}``.
+
+    These are the positions of the elements whose *rightmost* symbol equals
+    ``u``; by the analysis in Section 2 they are::
+
+        u, 2N-u-1, 2N+u, 4N-u-1, 4N+u, ...
+
+    i.e. positions ``2jN + u`` and ``2jN + 2N - 1 - u`` for ``j >= 0``.  This
+    is the structural fact that makes Step 1 of the multiway merge free of
+    data movement on a product network.
+
+    >>> subsequence_positions(3, 2, 0)
+    [0, 5, 6]
+    """
+    _validate_params(n, r)
+    if not 0 <= u < n:
+        raise ValueError(f"symbol {u} out of range for radix {n}")
+    total = n**r
+    positions: list[int] = []
+    base = 0
+    while base < total:
+        positions.append(base + u)
+        if base + 2 * n - 1 - u < total:
+            positions.append(base + 2 * n - 1 - u)
+        base += 2 * n
+    return [p for p in positions if p < total]
+
+
+def fixed_symbol_positions(n: int, r: int, position: int, u: int) -> list[int]:
+    """Positions in ``Q_r`` of elements with symbol ``u`` at paper-position
+    ``position`` (1 = rightmost, ``r`` = leftmost), i.e. of ``[u]Q^i_{r-1}``.
+
+    General (any ``i``) version of :func:`subsequence_positions`, computed by
+    scanning the sequence.  Intended for tests and exploration; the sorting
+    algorithm itself only needs ``i = 1`` where the closed form applies.
+    """
+    _validate_params(n, r)
+    if not 1 <= position <= r:
+        raise ValueError(f"position must be in 1..{r}, got {position}")
+    idx = r - position
+    return [p for p, lab in enumerate(iter_gray_sequence(n, r)) if lab[idx] == u]
+
+
+def fixed_symbol_subsequence(n: int, r: int, position: int, u: int) -> list[tuple[int, ...]]:
+    """The reduced labels of ``[u]Q^i_{r-1}`` in the order induced by ``Q_r``.
+
+    Each returned tuple is the original label with paper-position ``position``
+    deleted.  For ``position == 1`` (the case used by Step 1 of the merge)
+    the induced order is exactly ``Q_{r-1}`` — fixing the innermost symbol of
+    a reflected Gray code preserves the Gray order of the remaining prefix —
+    which tests assert.
+    """
+    _validate_params(n, r)
+    if r < 2:
+        raise ValueError("need r >= 2 to delete a symbol position")
+    if not 1 <= position <= r:
+        raise ValueError(f"position must be in 1..{r}, got {position}")
+    idx = r - position
+    out: list[tuple[int, ...]] = []
+    for lab in iter_gray_sequence(n, r):
+        if lab[idx] == u:
+            out.append(lab[:idx] + lab[idx + 1 :])
+    return out
+
+
+def group_sequence(n: int, r: int, erased: int = 1) -> list[tuple[int, ...]]:
+    """The group sequence ``[*, ..., *]Q^{1..erased}_{r-erased}`` of Section 2.
+
+    Erasing the ``erased`` innermost symbol positions of every element of
+    ``Q_r`` and collapsing runs of equal prefixes yields the *group labels*
+    ``(q_r, ..., q_{erased+1})`` in snake order; consecutive group labels have
+    unit Hamming distance.  With ``erased == 2`` this orders the ``PG_2``
+    subgraphs at dimensions {1, 2} — the order in which Step 4 of the merge
+    applies its alternating block sorts and odd-even block transpositions.
+
+    >>> group_sequence(3, 3, erased=1)[:4]
+    [(0, 0), (0, 1), (0, 2), (1, 2)]
+    """
+    _validate_params(n, r)
+    if not 1 <= erased < r:
+        raise ValueError(f"erased must be in 1..{r - 1}, got {erased}")
+    groups: list[tuple[int, ...]] = []
+    for lab in iter_gray_sequence(n, r):
+        prefix = lab[: r - erased]
+        if not groups or groups[-1] != prefix:
+            groups.append(prefix)
+    return groups

@@ -1,0 +1,155 @@
+"""Snake order on product-network lattices (paper Section 2, Definition 2).
+
+The nodes of the r-dimensional product network ``PG_r`` are labelled by
+tuples ``(x_r, ..., x_1)`` over ``{0..N-1}``.  *Snake order* assigns each node
+the rank of its label in the N-ary reflected Gray sequence ``Q_r``
+(:mod:`repro.orders.gray`); a key assignment is *sorted* when the node of
+snake rank ``p`` holds the ``p``-th smallest key.
+
+This module provides the NumPy plumbing used throughout the package to move
+between two equivalent views of the data:
+
+``lattice`` view
+    an ndarray ``A`` of shape ``(N,)*r`` where ``A[x_r, ..., x_1]`` is the key
+    currently held by the node with that label — the *physical* view, one
+    entry per processor;
+
+``sequence`` view
+    the flat array ``seq`` with ``seq[p] =`` key held by the node of snake
+    rank ``p`` — the *logical* view in which "sorted" simply means
+    nondecreasing.
+
+Converting between the views is pure reindexing (no comparisons, no
+communication), which is exactly why Steps 1 and 3 of the paper's multiway
+merge are free on a product network.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .gray import gray_unrank, rank_lattice
+
+__all__ = [
+    "lattice_shape",
+    "lattice_to_sequence",
+    "sequence_to_lattice",
+    "is_snake_sorted",
+    "snake_rank_of_label",
+    "label_of_snake_rank",
+    "block_view_dims12",
+    "snake_positions_of_block",
+    "parity_lattice",
+]
+
+
+def lattice_shape(n: int, r: int) -> tuple[int, ...]:
+    """Shape ``(n,)*r`` of the key lattice for ``PG_r`` over an N-node factor."""
+    if n < 2 or r < 1:
+        raise ValueError(f"invalid product geometry N={n}, r={r}")
+    return (n,) * r
+
+
+def _check_lattice(a: np.ndarray) -> tuple[int, int]:
+    """Return ``(n, r)`` for a key lattice, validating its shape is ``(n,)*r``."""
+    if a.ndim < 1:
+        raise ValueError("key lattice must have at least one dimension")
+    n = a.shape[0]
+    if any(s != n for s in a.shape):
+        raise ValueError(f"key lattice must be hypercubic (n,)*r, got shape {a.shape}")
+    if n < 2:
+        raise ValueError(f"factor size N must be >= 2, got {n}")
+    return n, a.ndim
+
+
+def lattice_to_sequence(a: np.ndarray) -> np.ndarray:
+    """Read a key lattice into its snake-order sequence.
+
+    ``out[p]`` is the key held by the node of snake rank ``p``.  Inverse of
+    :func:`sequence_to_lattice`.
+    """
+    n, r = _check_lattice(a)
+    ranks = rank_lattice(n, r)
+    out = np.empty(a.size, dtype=a.dtype)
+    out[ranks.ravel()] = a.ravel()
+    return out
+
+
+def sequence_to_lattice(seq: np.ndarray | Sequence, n: int, r: int) -> np.ndarray:
+    """Place a flat sequence on the ``PG_r`` lattice in snake order.
+
+    ``out[label] == seq[gray_rank(label)]``; in particular, feeding a sorted
+    sequence yields a snake-sorted lattice.
+    """
+    seq = np.asarray(seq)
+    if seq.ndim != 1 or seq.size != n**r:
+        raise ValueError(f"sequence must be flat with {n**r} entries, got shape {seq.shape}")
+    return seq[rank_lattice(n, r)]
+
+
+def is_snake_sorted(a: np.ndarray) -> bool:
+    """True iff the lattice holds its keys sorted in snake order."""
+    seq = lattice_to_sequence(a)
+    return bool(np.all(seq[:-1] <= seq[1:]))
+
+
+def snake_rank_of_label(label: Sequence[int], n: int) -> int:
+    """Snake rank of a node label — alias of :func:`repro.orders.gray.gray_rank`."""
+    from .gray import gray_rank
+
+    return gray_rank(label, n)
+
+
+def label_of_snake_rank(rank: int, n: int, r: int) -> tuple[int, ...]:
+    """Node label of a given snake rank — alias of :func:`gray_unrank`."""
+    return gray_unrank(rank, n, r)
+
+
+def block_view_dims12(a: np.ndarray) -> np.ndarray:
+    """View the lattice as ``PG_2`` blocks at dimensions {1, 2}.
+
+    Returns an array of shape ``(N**(r-2), N, N)`` whose slice ``[g]`` is the
+    ``PG_2`` block with *group label* prefix ``(x_r, ..., x_3)`` equal to the
+    mixed-radix expansion of ``g`` — i.e. blocks indexed in plain
+    lexicographic prefix order, **not** snake order.  Use
+    :func:`repro.orders.gray.rank_lattice` of order ``r-2`` to translate
+    between the two.  The result is a *view* whenever possible, so in-place
+    writes update the original lattice (this is how Step 4 of the merge is
+    implemented without copying).
+    """
+    n, r = _check_lattice(a)
+    if r < 2:
+        raise ValueError("need r >= 2 to form dimension-{1,2} blocks")
+    return a.reshape(n ** (r - 2), n, n)
+
+
+def snake_positions_of_block(n: int, r: int, group_rank: int) -> tuple[int, int]:
+    """Global snake positions ``[lo, hi)`` occupied by the ``PG_2`` block of
+    snake group rank ``group_rank``.
+
+    Because the dimension-{1,2} blocks are the innermost level of the Gray
+    recursion, the block of group rank ``z`` occupies exactly the contiguous
+    window ``[z*N**2, (z+1)*N**2)`` of the global snake order — read forward
+    when ``z`` is even and backward when ``z`` is odd.  This contiguity is
+    what lets Step 4 clean the (at most ``N**2``-long, Lemma 1) dirty area
+    with purely block-local work.
+    """
+    if r < 2:
+        raise ValueError("need r >= 2")
+    nblocks = n ** (r - 2)
+    if not 0 <= group_rank < nblocks:
+        raise ValueError(f"group rank {group_rank} out of range 0..{nblocks - 1}")
+    lo = group_rank * n**2
+    return lo, lo + n**2
+
+
+def parity_lattice(n: int, r: int) -> np.ndarray:
+    """Array of shape ``(n,)*r`` with the Hamming-weight parity of each label.
+
+    Equals ``rank_lattice(n, r) % 2`` (rank parity == weight parity for
+    reflected Gray codes); used to pick ascending/descending directions in
+    alternating block sorts.
+    """
+    return (rank_lattice(n, r) % 2).astype(np.int8)

@@ -1,0 +1,186 @@
+"""The §5 catalog of ``S_2(N)`` cost models, one per network family.
+
+Each entry packages the closed-form two-dimensional sorting cost the paper
+plugs into Theorem 1.  The paper's big-O statements hide lower-order terms;
+where it quotes explicit constants we use them and make the ``o(.)`` term a
+concrete, documented choice:
+
+========================  ============================================  =====
+model                     rounds charged                                paper
+========================  ============================================  =====
+schnorr_shamir            ``3N + ceil(N**0.75)``                        §5.1: 3N + o(N) on the N x N grid
+kunde_torus               ``ceil(2.5N) + ceil(N**0.75)``                Cor.: 2.5N + o(N) on the N x N torus
+hypercube_three_step      ``3`` (N must be 2)                           §5.3: "sort in snake order ... in three steps"
+grid_subgraph             same as schnorr_shamir                        §5.4: PG_2 of a Hamiltonian factor contains the N x N grid
+torus_emulation           ``slowdown * kunde_torus(N)``                 Cor.: dilation-3/congestion-2 cycle embedding, slowdown <= 6
+batcher_emulation         ``dilation*congestion * (2*ceil(lg N))**2``   §5.5: Batcher on the emulated N^2-node de Bruijn / shuffle-exchange graph, O(log^2 N)
+========================  ============================================  =====
+
+The ``o(N)`` choice ``ceil(N**(3/4))`` follows the structure of the
+Schnorr-Shamir bound (their lower-order term is ``O(N**(3/4))``); any
+sublinear choice preserves every asymptotic claim, and EXPERIMENTS.md reports
+costs with and without it.
+
+:func:`sorter_for_factor` picks the §5-appropriate model automatically from
+the factor's structure, mirroring how the paper assigns algorithms to
+networks.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..graphs.base import FactorGraph
+from ..graphs.embeddings import emulation_slowdown, torus_emulation_certificate
+from ..machine.routing import published_routing_bound
+from .base import AnalyticSorterModel, TwoDimSorterModel
+
+__all__ = [
+    "sublinear_term",
+    "schnorr_shamir_model",
+    "kunde_torus_model",
+    "hypercube_three_step_model",
+    "torus_emulation_model",
+    "batcher_emulation_model",
+    "sorter_for_factor",
+]
+
+
+def sublinear_term(n: int) -> int:
+    """The concrete ``o(N)`` adjustment: ``ceil(N**(3/4))``.
+
+    Sublinear for every ``N >= 2`` (not only asymptotically), so the charged
+    costs respect the paper's leading constants at the sizes benchmarks use.
+    """
+    return math.ceil(n**0.75)
+
+
+def schnorr_shamir_model(include_lower_order: bool = True) -> AnalyticSorterModel:
+    """``S_2(N) = 3N + o(N)``: Schnorr-Shamir snake sort on the N x N grid
+    (§5.1; also §5.4 through the grid-subgraph argument)."""
+
+    def formula(n: int) -> int:
+        return 3 * n + (sublinear_term(n) if include_lower_order else 0)
+
+    return AnalyticSorterModel(
+        name="schnorr-shamir",
+        formula=formula,
+        reference="Schnorr & Shamir, STOC'86: 3N + o(N) rounds on the N x N mesh",
+    )
+
+
+def kunde_torus_model(include_lower_order: bool = True) -> AnalyticSorterModel:
+    """``S_2(N) = 2.5N + o(N)``: Kunde's multidimensional mesh/torus sort
+    (used by the Corollary's universal bound)."""
+
+    def formula(n: int) -> int:
+        return math.ceil(2.5 * n) + (sublinear_term(n) if include_lower_order else 0)
+
+    return AnalyticSorterModel(
+        name="kunde-torus",
+        formula=formula,
+        reference="Kunde, STACS'87: 2.5N + o(N) rounds on the N x N torus",
+    )
+
+
+def hypercube_three_step_model() -> AnalyticSorterModel:
+    """``S_2(2) = 3``: §5.3's three-step snake sort of the 2-cube."""
+
+    def formula(n: int) -> int:
+        if n != 2:
+            raise ValueError("the three-step sorter only applies to the hypercube factor K2")
+        return 3
+
+    return AnalyticSorterModel(
+        name="hypercube-3step",
+        formula=formula,
+        reference="paper §5.3: 4 keys sorted in snake order in three compare-exchange steps",
+    )
+
+
+def torus_emulation_model(factor: FactorGraph) -> AnalyticSorterModel:
+    """Corollary model for an arbitrary connected factor: emulate the torus
+    through the (measured) cycle embedding and run Kunde's sorter.
+
+    ``rounds = slowdown * (2.5N + o(N))`` with
+    ``slowdown = dilation * congestion <= 6`` for the dilation-3 /
+    congestion-2 embedding the paper invokes; the concrete certificate is
+    measured on the given factor, so well-connected factors pay less than 6.
+    """
+    cert = torus_emulation_certificate(factor)
+    slowdown = cert.slowdown
+    base = kunde_torus_model()
+
+    def formula(n: int) -> int:
+        if n != factor.n:
+            raise ValueError(f"model built for N={factor.n}, asked for N={n}")
+        return slowdown * base.rounds(n)
+
+    return AnalyticSorterModel(
+        name=f"torus-emulation(x{slowdown})",
+        formula=formula,
+        reference=(
+            "Corollary: torus embedded with dilation "
+            f"{cert.embedding.dilation}, congestion {cert.embedding.congestion}; "
+            "Kunde sorter emulated with constant slowdown"
+        ),
+    )
+
+
+def batcher_emulation_model(factor: FactorGraph, dilation: int = 2, congestion: int = 2) -> AnalyticSorterModel:
+    """§5.5 model: sort ``N**2`` keys on the two-dimensional product of a
+    de Bruijn (dilation 2, congestion 2) or shuffle-exchange (dilation 4,
+    congestion 2) network by emulating the flat ``N**2``-node graph and
+    running Batcher's bitonic sort.
+
+    Batcher on an M-node shuffle-exchange/de Bruijn graph costs about
+    ``lg(M)**2`` rounds (Stone's perfect-shuffle implementation: lg M merge
+    passes, each a full lg M shuffle cycle); with ``M = N**2`` and the
+    embedding slowdown this gives ``dilation*congestion*(2*ceil(lg N))**2``
+    rounds — the paper's ``S_2(N) = O(log^2 N)``.
+    """
+
+    def formula(n: int) -> int:
+        if n != factor.n:
+            raise ValueError(f"model built for N={factor.n}, asked for N={n}")
+        lg = max(1, math.ceil(math.log2(n)))
+        return dilation * congestion * (2 * lg) ** 2
+
+    return AnalyticSorterModel(
+        name=f"batcher-emulation(d{dilation}c{congestion})",
+        formula=formula,
+        reference="§5.5: Batcher on the emulated N^2-node de Bruijn/shuffle-exchange graph",
+    )
+
+
+def _looks_like_de_bruijn_family(g: FactorGraph) -> bool:
+    """Heuristic family check by name (factories tag their graphs)."""
+    return g.name.startswith("debruijn") or g.name.startswith("shuffle-exchange")
+
+
+def sorter_for_factor(factor: FactorGraph) -> TwoDimSorterModel:
+    """Pick the §5-appropriate ``S_2`` model for a factor graph.
+
+    * ``K_2`` -> the three-step hypercube sorter (§5.3);
+    * de Bruijn / shuffle-exchange -> Batcher emulation (§5.5), with the
+      §5.5 dilations (2 for de Bruijn, 4 for shuffle-exchange);
+    * any factor whose labels follow a Hamiltonian path -> Schnorr-Shamir on
+      the grid subgraph of ``PG_2`` (§5.1/§5.4);
+    * cycles -> Kunde's torus sorter directly (Corollary);
+    * everything else -> torus emulation with the measured slowdown
+      (Corollary's universal argument).
+    """
+    n = factor.n
+    if n == 2:
+        return hypercube_three_step_model()
+    if _looks_like_de_bruijn_family(factor):
+        dilation = 2 if factor.name.startswith("debruijn") else 4
+        return batcher_emulation_model(factor, dilation=dilation, congestion=2)
+    if published_routing_bound(factor) == n // 2 and len(factor.edges) == n:
+        return kunde_torus_model()  # a cycle: its PG_2 is the torus itself
+    if factor.labels_follow_hamiltonian_path or factor.hamiltonian_path is not None:
+        return schnorr_shamir_model()
+    model = torus_emulation_model(factor)
+    if emulation_slowdown(torus_emulation_certificate(factor).embedding) <= 0:  # pragma: no cover
+        raise RuntimeError("invalid emulation certificate")
+    return model

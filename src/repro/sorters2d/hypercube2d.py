@@ -1,0 +1,66 @@
+"""The §5.3 three-step snake sorter for the two-dimensional hypercube.
+
+"It is not hard to sort in snake order on the two-dimensional hypercube in
+three steps."  The 2-cube's four nodes in snake order are
+``00, 01, 11, 10`` — a 4-cycle in which every snake step *and* the wrap-around
+is a hypercube edge.  Three rounds of odd-even transposition around this
+cycle sort all sixteen 0-1 inputs (exhaustively verified in the tests), so by
+the zero-one principle they sort everything:
+
+* round 1: compare (rank0, rank1) and (rank2, rank3);
+* round 2: compare (rank1, rank2) and (rank3, rank0);
+* round 3: compare (rank0, rank1) and (rank2, rank3) again.
+
+This gives ``S_2(2) = 3``, the constant behind §5.3's total
+``3(r-1)^2 + (r-1)(r-2)`` — the running time of Batcher's odd-even merge
+sort, of which the paper notes its algorithm is a generalisation.
+"""
+
+from __future__ import annotations
+
+from ..graphs.product import SubgraphView
+from ..machine.machine import NetworkMachine
+from ..machine.primitives import subgraph_snake_labels
+from .base import ExecutableTwoDimSorter
+
+__all__ = ["HypercubeThreeStepSorter"]
+
+#: the three rounds as snake-rank pairs (lo, hi) with lo the ascending target
+_SCHEDULE = (
+    ((0, 1), (2, 3)),
+    ((1, 2), (0, 3)),
+    ((0, 1), (2, 3)),
+)
+
+
+class HypercubeThreeStepSorter(ExecutableTwoDimSorter):
+    """Sort the 4 keys of every ``K_2 x K_2`` block in exactly 3 rounds."""
+
+    name = "hypercube-3step"
+
+    def sort_batch(
+        self,
+        machine: NetworkMachine,
+        views: list[SubgraphView],
+        descending: list[bool],
+    ) -> int:
+        if len(views) != len(descending):
+            raise ValueError("views and descending flags must align")
+        ranks_per_view = []
+        for view in views:
+            if view.parent.factor.n != 2 or view.reduced_order != 2:
+                raise ValueError("the three-step sorter requires PG_2 blocks over K_2")
+            ranks_per_view.append(subgraph_snake_labels(view))
+
+        charged = 0
+        for round_pairs in _SCHEDULE:
+            pairs = []
+            for ranks, desc in zip(ranks_per_view, descending):
+                for lo, hi in round_pairs:
+                    a, b = ranks[lo], ranks[hi]
+                    pairs.append((a, b) if not desc else (b, a))
+            charged += machine.compare_exchange(pairs)
+        return charged
+
+    def max_rounds(self, n: int) -> int:
+        return 3

@@ -1,0 +1,48 @@
+"""Generic executable ``PG_2`` sorter: odd-even transposition along the snake.
+
+The simplest algorithm that sorts a two-dimensional product of *any* factor
+graph under *any* labelling: run ``N**2`` alternating phases of
+compare-exchange between snake-consecutive nodes.  Snake-consecutive labels
+differ by one in exactly one symbol, so every phase is a legal machine step;
+its real cost is 1 round under a Hamiltonian labelling and a short routed
+exchange otherwise — the machine measures whichever applies.
+
+Cost: ``N**2`` phases, i.e. ``S_2(N) = O(N**2)`` — far above the ``O(N)``
+mesh sorters of §5, but unconditionally correct.  It is the reference
+implementation used to validate fancier sorters and to drive the
+fine-grained backend on factors where no specialised sorter applies.
+"""
+
+from __future__ import annotations
+
+from ..graphs.product import SubgraphView
+from ..machine.machine import NetworkMachine
+from ..machine.primitives import parallel_transposition_phases, subgraph_snake_labels
+from .base import ExecutableTwoDimSorter
+
+__all__ = ["OddEvenSnakeSorter"]
+
+
+class OddEvenSnakeSorter(ExecutableTwoDimSorter):
+    """Odd-even transposition along each subgraph's snake order, all blocks
+    advancing in lockstep."""
+
+    name = "odd-even-snake"
+
+    def sort_batch(
+        self,
+        machine: NetworkMachine,
+        views: list[SubgraphView],
+        descending: list[bool],
+    ) -> int:
+        if len(views) != len(descending):
+            raise ValueError("views and descending flags must align")
+        chains = [
+            (subgraph_snake_labels(view), not desc)
+            for view, desc in zip(views, descending)
+        ]
+        return parallel_transposition_phases(machine, chains)
+
+    def max_rounds(self, n: int) -> int:
+        """Phase count (actual rounds may exceed this when routing is needed)."""
+        return n * n

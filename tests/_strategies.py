@@ -1,0 +1,57 @@
+"""Hypothesis strategies for product-network property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    FactorGraph,
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_connected_graph,
+    star_graph,
+)
+
+__all__ = ["factor_graphs", "small_products", "key_arrays"]
+
+
+@st.composite
+def factor_graphs(draw, min_n: int = 2, max_n: int = 6) -> FactorGraph:
+    """A small connected factor graph: structured or random."""
+    kind = draw(st.sampled_from(["path", "cycle", "complete", "star", "tree", "random"]))
+    if kind == "path":
+        return path_graph(draw(st.integers(min_n, max_n)))
+    if kind == "cycle":
+        return cycle_graph(draw(st.integers(max(3, min_n), max_n)))
+    if kind == "complete":
+        return complete_graph(draw(st.integers(min_n, max_n)))
+    if kind == "star":
+        return star_graph(draw(st.integers(min_n, max_n)))
+    if kind == "tree":
+        return complete_binary_tree(draw(st.integers(1, 2)))
+    n = draw(st.integers(max(3, min_n), max_n))
+    seed = draw(st.integers(0, 10_000))
+    return random_connected_graph(n, extra_edge_prob=0.2, seed=seed)
+
+
+@st.composite
+def small_products(draw, max_nodes: int = 128) -> tuple[FactorGraph, int]:
+    """A (factor, r) pair whose product stays under ``max_nodes`` nodes."""
+    factor = draw(factor_graphs())
+    max_r = 2
+    while factor.n ** (max_r + 1) <= max_nodes:
+        max_r += 1
+    r = draw(st.integers(2, max_r))
+    return factor, r
+
+
+@st.composite
+def key_arrays(draw, size: int, low: int = -100, high: int = 100) -> np.ndarray:
+    """An integer key array of exactly ``size`` entries (duplicates likely)."""
+    values = draw(
+        st.lists(st.integers(low, high), min_size=size, max_size=size)
+    )
+    return np.array(values)

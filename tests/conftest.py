@@ -1,0 +1,57 @@
+"""Shared fixtures: representative factor graphs and RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    de_bruijn_graph,
+    k2,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+    shuffle_exchange_graph,
+    star_graph,
+    wheel_graph,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic NumPy RNG for key generation."""
+    return np.random.default_rng(12345)
+
+
+#: small factor instances spanning every §5 family plus adversarial shapes
+SMALL_FACTORS = {
+    "path3": path_graph(3),
+    "path4": path_graph(4),
+    "cycle4": cycle_graph(4),
+    "cycle5": cycle_graph(5),
+    "k2": k2(),
+    "complete4": complete_graph(4),
+    "star4": star_graph(4),
+    "wheel5": wheel_graph(5),
+    "cbt1": complete_binary_tree(1),
+    "cbt2": complete_binary_tree(2),
+    "petersen": petersen_graph(),
+    "debruijn2": de_bruijn_graph(2),
+    "debruijn3": de_bruijn_graph(3),
+    "se3": shuffle_exchange_graph(3),
+    "random5": random_connected_graph(5, seed=42),
+    "random7": random_connected_graph(7, extra_edge_prob=0.15, seed=7),
+}
+
+
+@pytest.fixture(params=sorted(SMALL_FACTORS), ids=sorted(SMALL_FACTORS))
+def any_factor(request):
+    """Parametrise a test over every small factor graph."""
+    return SMALL_FACTORS[request.param]
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running exhaustive checks")

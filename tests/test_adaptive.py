@@ -1,0 +1,119 @@
+"""Tests for the adaptive (clean-check) sorter extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveProductNetworkSorter
+from repro.core.lattice_sort import ProductNetworkSorter
+from repro.graphs import cycle_graph, k2, path_graph
+from repro.orders import lattice_to_sequence, sequence_to_lattice
+
+
+def _adaptive(factor, r, **kw):
+    return AdaptiveProductNetworkSorter.for_factor(factor, r, **kw)
+
+
+def _snake_sorted_input(n: int, r: int) -> np.ndarray:
+    """Sorted keys already placed in snake order (the benign case): as a
+    flat node-order array suitable for ``sort_sequence``."""
+    return sequence_to_lattice(np.arange(n**r), n, r).ravel()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,r", [(3, 3), (3, 4), (4, 3), (2, 5)])
+    def test_random_inputs(self, n, r, rng):
+        factor = path_graph(n) if n > 2 else k2()
+        sorter = _adaptive(factor, r)
+        keys = rng.integers(0, 2**20, size=n**r)
+        lattice, _ = sorter.sort_sequence(keys)
+        assert np.array_equal(lattice_to_sequence(lattice), np.sort(keys))
+
+    def test_matches_plain_sorter(self, rng):
+        keys = rng.integers(0, 10**6, size=81)
+        plain, _ = ProductNetworkSorter.for_factor(path_graph(3), 4).sort_sequence(keys)
+        adaptive, _ = _adaptive(path_graph(3), 4).sort_sequence(keys)
+        assert np.array_equal(plain, adaptive)
+
+    def test_merge_sorted_subgraphs(self, rng):
+        sorter = _adaptive(path_graph(3), 3)
+        keys = rng.integers(0, 1000, size=(3, 9))
+        lattice = np.stack([sequence_to_lattice(np.sort(keys[u]), 3, 2) for u in range(3)])
+        merged, _ = sorter.merge_sorted_subgraphs(lattice)
+        assert np.array_equal(lattice_to_sequence(merged), np.sort(keys, axis=None))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _adaptive(path_graph(3), 3, check_rounds=-1)
+
+
+class TestAdaptivity:
+    def test_constant_input_skips_every_step4(self, rng):
+        sorter = _adaptive(path_graph(3), 4)
+        keys = np.zeros(81)
+        lattice, ledger = sorter.sort_sequence(keys)
+        assert np.array_equal(lattice_to_sequence(lattice), keys)
+        assert sorter.steps4_executed == 0
+        assert sorter.steps4_skipped == 3  # levels: inner k=3, outer k=3, k=4
+        # the saved work shows in the ledger: far fewer S2 calls than (r-1)^2
+        assert ledger.s2_calls < 9
+
+    def test_low_cardinality_skips_some_levels(self, rng):
+        """Random 0-1 keys: the interleave self-cleans at the deeper levels
+        (Step 1's column counts balance when only two values exist)."""
+        sorter = _adaptive(path_graph(3), 4)
+        skipped_total = 0
+        for seed in range(5):
+            keys = np.random.default_rng(seed).integers(0, 2, size=81)
+            lattice, _ = sorter.sort_sequence(keys)
+            assert np.array_equal(lattice_to_sequence(lattice), np.sort(keys))
+            skipped_total += sorter.steps4_skipped
+        assert skipped_total >= 3  # a level skips on most seeds
+
+    def test_block_aligned_duplicates_skip_everything(self, rng):
+        sorter = _adaptive(path_graph(3), 4)
+        keys = np.repeat(np.arange(9), 9)  # 9 values, one per PG_2 block
+        lattice, _ = sorter.sort_sequence(keys)
+        assert np.array_equal(lattice_to_sequence(lattice), np.sort(keys))
+        assert sorter.steps4_executed == 0
+
+    def test_random_input_skips_nothing(self, rng):
+        sorter = _adaptive(path_graph(3), 3)
+        keys = rng.permutation(27)
+        sorter.sort_sequence(keys)
+        assert sorter.steps4_skipped == 0
+        assert sorter.steps4_executed > 0
+
+    def test_skip_decision_is_level_consistent(self, rng):
+        """A single dirty subgraph forces the whole level to execute."""
+        sorter = _adaptive(path_graph(3), 4)
+        keys = np.zeros(81)
+        keys[1] = 5.0  # one outlier key dirties its levels for everyone
+        lattice, _ = sorter.sort_sequence(keys)
+        assert np.array_equal(lattice_to_sequence(lattice), np.sort(keys))
+        assert sorter.steps4_executed + sorter.steps4_skipped == 3
+
+    def test_cost_accounting_sorted_vs_random(self, rng):
+        """Sorted inputs cost strictly less; random cost exceeds the plain
+        sorter's by exactly the check overhead."""
+        factor = cycle_graph(4)
+        plain = ProductNetworkSorter.for_factor(factor, 3)
+        adaptive = _adaptive(factor, 3, check_rounds=2)
+
+        benign_keys = np.zeros(64)
+        random_keys = rng.permutation(64)
+
+        _, plain_ledger = plain.sort_sequence(random_keys)
+        _, ad_random = adaptive.sort_sequence(random_keys)
+        checks = adaptive.steps4_executed + adaptive.steps4_skipped
+        assert ad_random.total_rounds == plain_ledger.total_rounds + 2 * checks
+
+        _, ad_benign = adaptive.sort_sequence(benign_keys)
+        assert ad_benign.total_rounds < plain_ledger.total_rounds
+
+    def test_check_rounds_zero(self, rng):
+        sorter = _adaptive(path_graph(3), 3, check_rounds=0)
+        keys = np.zeros(27)
+        _, ledger = sorter.sort_sequence(keys)
+        assert ledger.routing_rounds == 0

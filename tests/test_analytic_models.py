@@ -1,0 +1,161 @@
+"""Tests for the §5 analytic cost catalog and routing models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.library import (
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    de_bruijn_graph,
+    k2,
+    path_graph,
+    petersen_graph,
+    shuffle_exchange_graph,
+    star_graph,
+)
+from repro.sorters2d import (
+    AdjacentStepRoutingModel,
+    ConstantRoutingModel,
+    HypercubeThreeStepSorter,
+    MeasuredExecutableModel,
+    OddEvenSnakeSorter,
+    PublishedRoutingModel,
+    batcher_emulation_model,
+    hypercube_three_step_model,
+    kunde_torus_model,
+    schnorr_shamir_model,
+    sorter_for_factor,
+    sublinear_term,
+    torus_emulation_model,
+)
+
+
+class TestClosedForms:
+    def test_schnorr_shamir_leading_term(self):
+        m = schnorr_shamir_model(include_lower_order=False)
+        assert m.rounds(10) == 30
+        assert m.rounds(100) == 300
+
+    def test_schnorr_shamir_lower_order_is_sublinear(self):
+        m = schnorr_shamir_model()
+        for n in (16, 64, 256, 1024):
+            assert m.rounds(n) - 3 * n == sublinear_term(n)
+            assert sublinear_term(n) < n  # o(N) in the practical range
+
+    def test_kunde(self):
+        m = kunde_torus_model(include_lower_order=False)
+        assert m.rounds(10) == 25
+        assert m.rounds(8) == 20
+
+    def test_hypercube_constant(self):
+        m = hypercube_three_step_model()
+        assert m.rounds(2) == 3
+        with pytest.raises(ValueError):
+            m.rounds(3)
+
+    def test_torus_emulation_scales_kunde(self):
+        g = complete_binary_tree(2)
+        m = torus_emulation_model(g)
+        base = kunde_torus_model()
+        assert m.rounds(7) % base.rounds(7) == 0
+        assert m.rounds(7) // base.rounds(7) >= 1
+        with pytest.raises(ValueError):
+            m.rounds(5)
+
+    def test_batcher_emulation_log_squared(self):
+        g = de_bruijn_graph(4)
+        m = batcher_emulation_model(g, dilation=2, congestion=2)
+        assert m.rounds(16) == 2 * 2 * (2 * 4) ** 2
+        with pytest.raises(ValueError):
+            m.rounds(8)
+
+
+class TestAutoSelection:
+    def test_k2_gets_three_step(self):
+        assert sorter_for_factor(k2()).name == "hypercube-3step"
+
+    def test_path_gets_schnorr_shamir(self):
+        assert sorter_for_factor(path_graph(5)).name == "schnorr-shamir"
+
+    def test_cycle_gets_kunde(self):
+        assert sorter_for_factor(cycle_graph(6)).name == "kunde-torus"
+
+    def test_de_bruijn_gets_batcher_emulation(self):
+        assert sorter_for_factor(de_bruijn_graph(3)).name.startswith("batcher-emulation")
+
+    def test_shuffle_exchange_gets_batcher_emulation_dilation4(self):
+        name = sorter_for_factor(shuffle_exchange_graph(3)).name
+        assert name.startswith("batcher-emulation(d4")
+
+    def test_hamiltonian_factor_gets_grid_sorter(self):
+        assert sorter_for_factor(petersen_graph()).name == "schnorr-shamir"
+        assert sorter_for_factor(complete_graph(5)).name == "schnorr-shamir"
+
+    def test_tree_gets_torus_emulation(self):
+        assert sorter_for_factor(complete_binary_tree(2)).name.startswith("torus-emulation")
+
+    def test_star_gets_torus_emulation(self):
+        assert sorter_for_factor(star_graph(5)).name.startswith("torus-emulation")
+
+
+class TestRoutingModels:
+    def test_published_path(self):
+        assert PublishedRoutingModel(path_graph(6)).rounds(6) == 5
+
+    def test_published_cycle(self):
+        assert PublishedRoutingModel(cycle_graph(8)).rounds(8) == 4
+
+    def test_published_fallback_measures(self):
+        """No closed form for a tree: the model measures the reversal
+        permutation's makespan (>= the farthest routed pair's distance)."""
+        g = complete_binary_tree(2)
+        rounds = PublishedRoutingModel(g).rounds(7)
+        farthest = max(g.distance_matrix[u][6 - u] for u in range(7))
+        assert rounds >= farthest >= 2
+
+    def test_published_validates_n(self):
+        with pytest.raises(ValueError):
+            PublishedRoutingModel(path_graph(4)).rounds(5)
+
+    def test_adjacent_step_hamiltonian_is_one(self):
+        assert AdjacentStepRoutingModel(path_graph(6)).rounds(6) == 1
+        assert AdjacentStepRoutingModel(cycle_graph(6)).rounds(6) == 1
+
+    def test_adjacent_step_tree_is_small_constant(self):
+        g = complete_binary_tree(2).canonically_labelled()
+        rounds = AdjacentStepRoutingModel(g).rounds(7)
+        assert 1 <= rounds <= 6  # bounded by twice the dilation-3 embedding
+
+    def test_adjacent_cheaper_than_published(self):
+        """The §4 closing remark: Hamiltonicity only affects constants —
+        and the adjacent-step model is never worse than full routing."""
+        for g in (path_graph(6), cycle_graph(6), complete_graph(4)):
+            assert (
+                AdjacentStepRoutingModel(g).rounds(g.n)
+                <= PublishedRoutingModel(g).rounds(g.n)
+            )
+
+    def test_constant_model(self):
+        assert ConstantRoutingModel(1).rounds(2) == 1
+        with pytest.raises(ValueError):
+            ConstantRoutingModel(-1).rounds(2)
+
+
+class TestMeasuredExecutableModel:
+    def test_measures_and_caches(self):
+        g = path_graph(3)
+        model = MeasuredExecutableModel("measured-snake", g, OddEvenSnakeSorter())
+        first = model.rounds(3)
+        assert first == model.rounds(3)  # cached
+        assert first >= 9  # N^2 phases on the worst-case input
+
+    def test_three_step_measures_three(self):
+        model = MeasuredExecutableModel("measured-3step", k2(), HypercubeThreeStepSorter())
+        assert model.rounds(2) == 3
+
+    def test_validates_n(self):
+        model = MeasuredExecutableModel("m", path_graph(3), OddEvenSnakeSorter())
+        with pytest.raises(ValueError):
+            model.rounds(4)

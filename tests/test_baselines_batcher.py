@@ -1,0 +1,106 @@
+"""Tests for the Batcher baselines (networks + hypercube execution)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.batcher import (
+    apply_network,
+    batcher_hypercube_rounds,
+    bitonic_sort,
+    bitonic_sort_network,
+    bitonic_sort_on_hypercube,
+    network_depth,
+    network_size,
+    odd_even_merge_network,
+    odd_even_merge_sort,
+    odd_even_merge_sort_network,
+)
+from repro.core.verification import zero_one_sequences
+
+
+class TestOddEvenMergeNetwork:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_merges_all_zero_one_halves(self, n):
+        net = odd_even_merge_network(n)
+        for z1 in range(n // 2 + 1):
+            for z2 in range(n // 2 + 1):
+                seq = [0] * z1 + [1] * (n // 2 - z1) + [0] * z2 + [1] * (n // 2 - z2)
+                assert apply_network(net, seq) == sorted(seq)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_depth_is_lg_n(self, n):
+        assert network_depth(odd_even_merge_network(n)) == int(math.log2(n))
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            odd_even_merge_network(6)
+
+
+class TestSortingNetworks:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_zero_one_exhaustive(self, n):
+        for bits in zero_one_sequences(n):
+            assert odd_even_merge_sort(bits) == sorted(bits)
+            assert bitonic_sort(bits) == sorted(bits)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 64])
+    def test_depth_formula(self, n):
+        lg = int(math.log2(n))
+        expected = lg * (lg + 1) // 2
+        assert network_depth(odd_even_merge_sort_network(n)) == expected
+        assert network_depth(bitonic_sort_network(n)) == expected
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_known_sizes(self, n):
+        """Comparator counts: OEM size follows S(n) = n/2*lg(n) ... known
+        table values 1, 5, 19, 63, 191; bitonic n/4*lg(n)(lg(n)+1)."""
+        oem_sizes = {2: 1, 4: 5, 8: 19, 16: 63, 32: 191}
+        assert network_size(odd_even_merge_sort_network(n)) == oem_sizes[n]
+        lg = int(math.log2(n))
+        assert network_size(bitonic_sort_network(n)) == n * lg * (lg + 1) // 4
+
+    def test_oem_beats_bitonic_in_comparators(self):
+        """The classic advantage of odd-even merge over bitonic."""
+        for n in (8, 16, 32, 64):
+            assert network_size(odd_even_merge_sort_network(n)) < network_size(
+                bitonic_sort_network(n)
+            )
+
+    @given(st.lists(st.integers(-100, 100), min_size=16, max_size=16))
+    @settings(max_examples=40)
+    def test_property_random_keys(self, keys):
+        assert odd_even_merge_sort(keys) == sorted(keys)
+        assert bitonic_sort(keys) == sorted(keys)
+
+    def test_stages_have_disjoint_pairs(self):
+        for n in (8, 16, 32):
+            for net in (odd_even_merge_sort_network(n), bitonic_sort_network(n)):
+                for stage in net:
+                    touched = [x for pair in stage for x in pair]
+                    assert len(touched) == len(set(touched))
+
+
+class TestHypercubeExecution:
+    def test_rounds_formula(self):
+        assert batcher_hypercube_rounds(1) == 1
+        assert batcher_hypercube_rounds(5) == 15
+        with pytest.raises(ValueError):
+            batcher_hypercube_rounds(0)
+
+    @pytest.mark.parametrize("r", [1, 2, 3, 4, 5])
+    def test_sorts_and_counts(self, r, rng):
+        keys = rng.integers(0, 1000, size=2**r)
+        out, rounds = bitonic_sort_on_hypercube(keys)
+        assert np.array_equal(out, np.sort(keys))
+        assert rounds == batcher_hypercube_rounds(r)
+
+    def test_zero_one_exhaustive_r3(self):
+        for bits in zero_one_sequences(8):
+            out, _ = bitonic_sort_on_hypercube(np.array(bits))
+            assert np.array_equal(out, np.sort(np.array(bits)))

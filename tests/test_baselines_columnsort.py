@@ -1,0 +1,82 @@
+"""Tests for Leighton's Columnsort baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.columnsort import columnsort, minimal_rows, valid_shape
+from repro.baselines.transposition import odd_even_transposition_sort
+from repro.core.verification import zero_one_sequences
+
+
+class TestShapeCondition:
+    def test_valid_shapes(self):
+        assert valid_shape(2, 2)
+        assert valid_shape(8, 2)
+        assert valid_shape(9, 3)
+        assert valid_shape(18, 3)
+
+    def test_invalid_shapes(self):
+        assert not valid_shape(4, 3)  # not divisible
+        assert not valid_shape(6, 3)  # 6 < 2*(3-1)^2
+        assert not valid_shape(3, 2)  # not divisible
+
+    def test_minimal_rows(self):
+        assert minimal_rows(2) == 2
+        assert minimal_rows(3) == 9
+        assert minimal_rows(4) == 20
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (4, 2), (8, 2), (9, 3), (18, 3), (20, 4)])
+    def test_random_keys(self, rows, cols):
+        rng = random.Random(rows * 100 + cols)
+        for _ in range(10):
+            keys = [rng.randrange(300) for _ in range(rows * cols)]
+            out, stats = columnsort(keys, rows, cols)
+            assert out == sorted(keys)
+            assert stats.column_sorts == 4
+            assert stats.permutations == 4
+
+    def test_zero_one_exhaustive_small(self):
+        for bits in zero_one_sequences(8):
+            out, _ = columnsort(bits, 4, 2)
+            assert out == sorted(bits)
+
+    def test_duplicates(self):
+        keys = [5] * 10 + [3] * 6
+        out, _ = columnsort(keys, 8, 2)
+        assert out == sorted(keys)
+
+    @given(st.lists(st.integers(0, 50), min_size=16, max_size=16))
+    @settings(max_examples=40)
+    def test_property(self, keys):
+        out, _ = columnsort(keys, 8, 2)
+        assert out == sorted(keys)
+
+    def test_custom_column_sorter(self):
+        """Columns sorted by odd-even transposition — the linear-array
+        substrate model; comparisons counted through the probe keys."""
+        calls = []
+
+        def transposition_column_sorter(col):
+            out, st_ = odd_even_transposition_sort(col)
+            calls.append(st_.phases)
+            return out
+
+        rng = random.Random(2)
+        keys = [rng.randrange(100) for _ in range(8)]
+        out, stats = columnsort(keys, 4, 2, column_sorter=transposition_column_sorter)
+        assert out == sorted(keys)
+        assert len(calls) >= 8  # 3 phases x 2 cols + final phase x 3 cols
+        assert stats.comparisons > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            columnsort([1, 2, 3], 2, 2)
+        with pytest.raises(ValueError):
+            columnsort(list(range(18)), 6, 3)

@@ -1,0 +1,73 @@
+"""Tests for transposition-sort and sequence shearsort baselines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.shearsort_seq import shearsort, snake_of_mesh
+from repro.baselines.transposition import odd_even_transposition_sort
+from repro.core.verification import zero_one_sequences
+
+
+class TestTranspositionSort:
+    @given(st.lists(st.integers(-20, 20), max_size=30))
+    @settings(max_examples=50)
+    def test_property_sorts(self, keys):
+        out, stats = odd_even_transposition_sort(keys)
+        assert out == sorted(keys)
+        assert stats.phases == len(keys)
+
+    def test_zero_one_exhaustive(self):
+        for bits in zero_one_sequences(10):
+            out, _ = odd_even_transposition_sort(bits)
+            assert out == sorted(bits)
+
+    def test_truncated_phases_fail_on_reversal(self):
+        """n phases are necessary in the worst case: n-2 don't suffice for
+        the reversal permutation."""
+        keys = list(range(9, -1, -1))
+        out, _ = odd_even_transposition_sort(keys, phases=5)
+        assert out != sorted(keys)
+
+    def test_convergence_probe(self):
+        out, stats = odd_even_transposition_sort([1, 2, 3, 4])
+        assert stats.converged_after == 0
+        out, stats = odd_even_transposition_sort([2, 1, 3, 4])
+        assert stats.converged_after == 1
+
+    def test_comparison_count(self):
+        _, stats = odd_even_transposition_sort(list(range(6)))
+        # phases alternate 3 and 2 comparisons: total 6*(3+2)/2
+        assert stats.comparisons == 15
+
+
+class TestShearsort:
+    @pytest.mark.parametrize("h,w", [(2, 2), (4, 4), (3, 5), (8, 3), (5, 5)])
+    def test_random(self, h, w):
+        rng = random.Random(h * 10 + w)
+        for _ in range(10):
+            keys = [rng.randrange(100) for _ in range(h * w)]
+            out, stats = shearsort(keys, h, w)
+            assert out == sorted(keys)
+
+    def test_zero_one_exhaustive_4x3(self):
+        for bits in zero_one_sequences(12):
+            out, _ = shearsort(bits, 4, 3)
+            assert out == sorted(bits)
+
+    def test_phase_counts(self):
+        _, stats = shearsort(list(range(16)), 4, 4)
+        assert stats.row_phases == 3  # ceil(lg 4) + 1
+        assert stats.column_phases == 2
+
+    def test_snake_reading(self):
+        mesh = [[1, 2, 3], [6, 5, 4], [7, 8, 9]]
+        assert snake_of_mesh(mesh) == [1, 2, 3, 4, 5, 6, 7, 8, 9]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shearsort([1, 2, 3], 2, 2)

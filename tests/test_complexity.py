@@ -1,0 +1,129 @@
+"""Tests for the closed-form complexity module (Lemma 3 / Theorem 1 / §5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import (
+    corollary_bound,
+    grid_sort_rounds,
+    hypercube_sort_rounds,
+    merge_rounds,
+    merge_routing_calls,
+    merge_s2_calls,
+    network_prediction,
+    sort_rounds,
+    sort_routing_calls,
+    sort_s2_calls,
+    torus_sort_rounds,
+)
+from repro.graphs import (
+    complete_binary_tree,
+    cycle_graph,
+    de_bruijn_graph,
+    k2,
+    path_graph,
+)
+
+
+class TestLemma3:
+    def test_base_case(self):
+        assert merge_rounds(2, s2=10, routing=3) == 10  # M_2 = S_2
+
+    def test_recurrence(self):
+        """M_k = M_{k-1} + 2(S_2 + R)."""
+        for k in range(3, 10):
+            assert merge_rounds(k, 7, 2) == merge_rounds(k - 1, 7, 2) + 2 * (7 + 2)
+
+    def test_call_counts(self):
+        assert merge_s2_calls(2) == 1 and merge_routing_calls(2) == 0
+        assert merge_s2_calls(5) == 7 and merge_routing_calls(5) == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            merge_rounds(1, 1, 1)
+
+
+class TestTheorem1:
+    def test_equals_sum_of_merges(self):
+        """S_r = S_2 + sum_{k=3..r} M_k — the proof's derivation."""
+        s2, routing = 11, 4
+        for r in range(2, 10):
+            total = s2 + sum(merge_rounds(k, s2, routing) for k in range(3, r + 1))
+            assert sort_rounds(r, s2, routing) == total
+
+    def test_call_counts_consistent(self):
+        for r in range(2, 10):
+            assert sort_s2_calls(r) == 1 + sum(merge_s2_calls(k) for k in range(3, r + 1))
+            assert sort_routing_calls(r) == sum(merge_routing_calls(k) for k in range(3, r + 1))
+
+    def test_bounded_by_2r2s2(self):
+        """Since S_2 >= R: S_r < 2 (r-1)^2 S_2 (the theorem's closing line)."""
+        for r in range(2, 12):
+            for s2 in (5, 20):
+                for routing in range(1, s2 + 1):
+                    assert sort_rounds(r, s2, routing) < 2 * (r - 1) ** 2 * s2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sort_rounds(1, 1, 1)
+
+
+class TestSection5Formulas:
+    def test_hypercube(self):
+        """§5.3: 3(r-1)^2 + (r-1)(r-2)."""
+        assert hypercube_sort_rounds(2) == 3
+        assert hypercube_sort_rounds(3) == 14
+        assert hypercube_sort_rounds(10) == 3 * 81 + 72
+
+    def test_grid_leading_term(self):
+        """§5.1: at most 4(r-1)^2 N + o(r^2 N)."""
+        for n in (8, 32, 128):
+            for r in (2, 3, 5):
+                exact = grid_sort_rounds(n, r, include_lower_order=False)
+                assert exact == (r - 1) ** 2 * 3 * n + (r - 1) * (r - 2) * (n - 1)
+                assert exact <= 4 * (r - 1) ** 2 * n
+
+    def test_torus_leading_term(self):
+        """Corollary: at most 3(r-1)^2 N + o(r^2 N)."""
+        for n in (8, 32, 128):
+            for r in (2, 3, 5):
+                exact = torus_sort_rounds(n, r, include_lower_order=False)
+                assert exact <= 3 * (r - 1) ** 2 * n
+
+    def test_corollary_dominates_any_measured_factor(self):
+        """18(r-1)^2 N + o(r^2 N) upper-bounds the emulation-based
+        predictions for non-Hamiltonian factors.  The o(r^2 N) slack is made
+        concrete: the slowdown-scaled sublinear term of the Kunde sorter
+        plus the routing contribution (R <= N)."""
+        from repro.sorters2d.analytic import sublinear_term
+
+        for r in (2, 3, 4):
+            g = complete_binary_tree(2)
+            pred = network_prediction(g, r)
+            slack = 6 * (r - 1) ** 2 * sublinear_term(g.n) + (r - 1) * (r - 2) * g.n
+            assert pred.total_rounds <= corollary_bound(g.n, r) + slack
+
+    def test_corollary_validation(self):
+        with pytest.raises(ValueError):
+            corollary_bound(2, 1)
+
+
+class TestNetworkPrediction:
+    def test_matches_defaults_of_sorter(self):
+        import numpy as np
+
+        from repro.core.lattice_sort import ProductNetworkSorter
+
+        for factor, r in [(path_graph(4), 3), (k2(), 5), (cycle_graph(5), 3), (de_bruijn_graph(3), 2)]:
+            pred = network_prediction(factor, r)
+            sorter = ProductNetworkSorter.for_factor(factor, r)
+            keys = np.arange(sorter.network.num_nodes)[::-1].copy()
+            _, ledger = sorter.sort_sequence(keys)
+            assert ledger.total_rounds == pred.total_rounds
+
+    def test_asymptotic_labels(self):
+        assert "§5.3" in network_prediction(k2(), 3).asymptotic
+        assert "§5.5" in network_prediction(de_bruijn_graph(3), 3).asymptotic
+        assert "§5.1" in network_prediction(path_graph(4), 3).asymptotic
+        assert "emulation" in network_prediction(complete_binary_tree(2), 3).asymptotic

@@ -1,0 +1,81 @@
+"""Tests for the emulation embeddings behind the Corollary and §5.4."""
+
+from __future__ import annotations
+
+from repro.graphs.embeddings import (
+    cycle_embedding,
+    emulation_slowdown,
+    pg2_contains_grid,
+    torus_emulation_certificate,
+)
+from repro.graphs.library import (
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+    star_graph,
+)
+
+
+class TestCycleEmbedding:
+    def test_hamiltonian_cycle_factor(self):
+        emb = cycle_embedding(cycle_graph(6))
+        assert emb.dilation <= 2  # closing a Hamiltonian path may take 1 hop more
+        assert len(emb.paths) == 6
+
+    def test_tree_factor_dilation_three(self):
+        """The Corollary's requirement: a ring embeds in any connected G
+        with constant dilation."""
+        for h in (1, 2, 3):
+            emb = cycle_embedding(complete_binary_tree(h))
+            assert emb.dilation <= 3
+            assert sorted(emb.order) == list(range(2 ** (h + 1) - 1))
+            # the closing path really closes the ring
+            assert emb.paths[-1][0] == emb.order[-1]
+            assert emb.paths[-1][-1] == emb.order[0]
+
+    def test_star_factor(self):
+        emb = cycle_embedding(star_graph(7))
+        assert emb.dilation <= 3
+
+    def test_random_factors(self):
+        for seed in range(6):
+            g = random_connected_graph(8, extra_edge_prob=0.1, seed=seed)
+            emb = cycle_embedding(g)
+            assert emb.dilation <= 3
+            for path in emb.paths:
+                for a, b in zip(path, path[1:]):
+                    assert g.has_edge(a, b)
+
+
+class TestSlowdown:
+    def test_hamiltonian_is_free(self):
+        emb = cycle_embedding(cycle_graph(8))
+        assert emulation_slowdown(emb) <= 2
+
+    def test_bounded_by_paper_constant_for_trees(self):
+        """dilation 3 x congestion 2 = 6 — the paper's constant."""
+        cert = torus_emulation_certificate(complete_binary_tree(2))
+        assert cert.embedding.dilation <= 3
+        assert cert.slowdown == cert.embedding.dilation * cert.embedding.congestion
+        assert cert.guest == "cycle(7)"
+
+    def test_certificate_reports_measurements(self):
+        cert = torus_emulation_certificate(star_graph(5))
+        assert cert.slowdown >= 1
+        assert len(cert.embedding.paths) == 5
+
+
+class TestGridContainment:
+    def test_hamiltonian_labelled_factors(self):
+        """§5.4: PG_2 of a Hamiltonian-path-labelled factor contains the grid."""
+        assert pg2_contains_grid(path_graph(5))
+        assert pg2_contains_grid(cycle_graph(5))
+        assert pg2_contains_grid(complete_graph(4))
+        assert pg2_contains_grid(petersen_graph().canonically_labelled())
+
+    def test_non_hamiltonian_labelling(self):
+        assert not pg2_contains_grid(petersen_graph())  # default labels don't follow a path
+        assert not pg2_contains_grid(complete_binary_tree(2))

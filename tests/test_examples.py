@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs clean end to end."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart.py",
+    "worked_example.py",
+    "portability.py",
+    "network_explorer.py",
+    "hypercube_showdown.py",
+    "custom_factor.py",
+    "extensions_demo.py",
+]
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    assert os.path.exists(path), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script} printed nothing"
+
+
+def test_quickstart_reports_theorem1(capsys=None):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "quickstart.py"))
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True, timeout=240
+    )
+    assert "measured == predicted" in result.stdout
+
+
+def test_worked_example_prints_paper_arrays():
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "worked_example.py"))
+    result = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True, timeout=240
+    )
+    assert "0 4 4" in result.stdout  # Fig. 12's A_0 top row
+    assert "Fig. 15b" in result.stdout

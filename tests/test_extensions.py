@@ -1,0 +1,162 @@
+"""Tests for the §6-inspired extensions (bulk regime, randomized slab sort)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.bulk import bulk_multiway_merge_sort
+from repro.extensions.sample_sort import (
+    classify_keys,
+    randomized_round_model,
+    randomized_slab_sort,
+    sample_splitters,
+)
+
+
+class TestBulkSort:
+    @pytest.mark.parametrize(
+        "n,r,c", [(2, 2, 2), (2, 4, 3), (3, 2, 5), (3, 3, 4), (4, 2, 2), (2, 3, 1)]
+    )
+    def test_sorts_random(self, n, r, c):
+        rng = random.Random(n * 100 + r * 10 + c)
+        for _ in range(5):
+            keys = [rng.randrange(500) for _ in range(c * n**r)]
+            out, stats = bulk_multiway_merge_sort(keys, n, c)
+            assert out == sorted(keys)
+            assert stats.keys_per_node == c and stats.total_keys == len(keys)
+
+    def test_zero_one_channels(self):
+        """The lifting argument's ground set: 0-1 keys, every zero count."""
+        n, r, c = 2, 3, 3
+        total = c * n**r
+        for zeros in range(0, total + 1, 3):
+            keys = [1] * total
+            # scatter zeros adversarially (stride pattern)
+            for i in range(zeros):
+                keys[(i * 7) % total] = 0
+            out, _ = bulk_multiway_merge_sort(keys, n, c)
+            assert out == sorted(keys)
+
+    @given(st.lists(st.integers(0, 30), min_size=24, max_size=24))
+    @settings(max_examples=30)
+    def test_property(self, keys):
+        out, _ = bulk_multiway_merge_sort(keys, 2, 3)  # 8 nodes x 3 keys
+        assert out == sorted(keys)
+
+    def test_duplicates(self):
+        keys = [5] * 20 + [2] * 16
+        out, _ = bulk_multiway_merge_sort(keys, 3, 4)
+        assert out == sorted(keys)
+
+    def test_c1_matches_plain_sort(self):
+        from repro.core.sorting import multiway_merge_sort
+
+        rng = random.Random(1)
+        keys = [rng.randrange(100) for _ in range(27)]
+        out, stats = bulk_multiway_merge_sort(keys, 3, 1)
+        assert out == multiway_merge_sort(keys, 3)
+        assert stats.modelled_rounds == stats.one_key_equivalent_rounds
+
+    def test_amortisation_model(self):
+        """Processor-round efficiency: the bulk machine spends
+        ``c * S_r(N)`` rounds on ``N**r`` processors, the one-key machine
+        ``S_r'(N)`` rounds on ``c * N**r`` processors.  Per processor-round
+        per key, bulk wins whenever ``S_r < S_r'`` — always, since r < r'.
+        (Raw rounds go the other way: the bigger machine is faster.)"""
+        rng = random.Random(2)
+        keys8 = [rng.randrange(100) for _ in range(2 * 16)]  # c=2, 16 nodes
+        _, stats = bulk_multiway_merge_sort(keys8, 2, 2)
+        assert stats.one_key_equivalent_rounds is not None
+        s_r = stats.modelled_rounds // stats.keys_per_node
+        assert s_r < stats.one_key_equivalent_rounds  # S_r < S_r'
+        assert stats.modelled_rounds > stats.one_key_equivalent_rounds  # raw rounds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bulk_multiway_merge_sort([1, 2, 3], 2, 2)
+        with pytest.raises(ValueError):
+            bulk_multiway_merge_sort([1, 2, 3, 4], 2, 0)
+        with pytest.raises(ValueError):
+            bulk_multiway_merge_sort([1, 2, 3, 4], 2, 2)  # 2 nodes -> r = 1
+
+
+class TestSampleSplitters:
+    def test_splitter_count_and_order(self):
+        rng = random.Random(0)
+        keys = list(range(100))
+        sp = sample_splitters(keys, 4, 8, rng)
+        assert len(sp) == 3
+        assert sp == sorted(sp)
+
+    def test_classify(self):
+        assert classify_keys([1, 5, 9], [4, 8]) == [0, 1, 2]
+        assert classify_keys([4], [4, 8]) == [1]  # ties go right of the splitter... bisect_right
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            sample_splitters([1, 2], 1, 4, rng)
+        with pytest.raises(ValueError):
+            sample_splitters([1, 2], 2, 0, rng)
+
+
+class TestRandomizedSlabSort:
+    def test_sorts_with_slack(self):
+        rng = random.Random(3)
+        keys = [rng.randrange(10**6) for _ in range(5**3)]
+        out, stats = randomized_slab_sort(keys, 5, 3, oversample=16, slack=1.4, rng=rng)
+        assert out == sorted(keys)
+        assert max(stats.loads) <= stats.capacity
+        assert sum(stats.loads) == len(keys)
+
+    def test_more_slack_fewer_attempts(self):
+        """Monotone trend over seeds: generous slack needs no retries."""
+        total_tight, total_loose = 0, 0
+        for seed in range(10):
+            rng = random.Random(seed)
+            keys = [rng.randrange(10**6) for _ in range(4**3)]
+            _, tight = randomized_slab_sort(
+                keys, 4, 3, oversample=4, slack=1.25, rng=random.Random(seed), max_attempts=500
+            )
+            _, loose = randomized_slab_sort(
+                keys, 4, 3, oversample=4, slack=2.0, rng=random.Random(seed), max_attempts=500
+            )
+            total_tight += tight.attempts
+            total_loose += loose.attempts
+        assert total_loose <= total_tight
+
+    def test_strict_capacity_raises(self):
+        """slack = 1.0 (one key per node, no buffer) essentially never
+        balances — the module's headline negative finding."""
+        rng = random.Random(5)
+        keys = [rng.randrange(10**6) for _ in range(4**3)]
+        with pytest.raises(RuntimeError):
+            randomized_slab_sort(keys, 4, 3, slack=1.0, rng=rng, max_attempts=25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            randomized_slab_sort([1, 2, 3], 2, 2)
+        with pytest.raises(ValueError):
+            randomized_slab_sort(list(range(16)), 2, 4, slack=0.5)
+        with pytest.raises(ValueError):
+            randomized_slab_sort(list(range(4)), 2, 1)
+
+
+class TestRoundModel:
+    def test_recurrence(self):
+        assert randomized_round_model(8, 2, s2=29, routing=7) == 29
+        t3 = randomized_round_model(8, 3, s2=29, routing=7)
+        assert t3 == 29 + (2 * 3 * 8 + 3 * 8 * 7)
+
+    def test_attempts_scale_linear(self):
+        one = randomized_round_model(8, 4, 29, 7, attempts=1)
+        two = randomized_round_model(8, 4, 29, 7, attempts=2)
+        assert two - one == one - 29
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            randomized_round_model(8, 1, 1, 1)

@@ -1,0 +1,193 @@
+"""Tests for the factor-graph abstraction and the topology library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.base import FactorGraph
+from repro.graphs.library import (
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    de_bruijn_graph,
+    k2,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+    shuffle_exchange_graph,
+    star_graph,
+    wheel_graph,
+)
+
+
+class TestConstruction:
+    def test_from_edge_list_normalises(self):
+        g = FactorGraph.from_edge_list(3, [(1, 0), (0, 1), (2, 1)])
+        assert len(g.edges) == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 2) and not g.has_edge(0, 2)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            FactorGraph.from_edge_list(2, [(0, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            FactorGraph.from_edge_list(2, [(0, 2)])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError):
+            FactorGraph.from_edge_list(4, [(0, 1), (2, 3)])
+
+    def test_rejects_bad_hint(self):
+        with pytest.raises(ValueError):
+            FactorGraph.from_edge_list(3, [(0, 1), (1, 2)], hamiltonian_hint=(0, 2, 1))
+        with pytest.raises(ValueError):
+            FactorGraph.from_edge_list(3, [(0, 1), (1, 2)], hamiltonian_hint=(0, 1))
+
+
+class TestBasicStructure:
+    def test_degrees_and_diameter_path(self):
+        g = path_graph(5)
+        assert [g.degree(u) for u in range(5)] == [1, 2, 2, 2, 1]
+        assert g.diameter == 4
+        assert g.max_degree == 2
+
+    def test_distance_matrix_cycle(self):
+        g = cycle_graph(6)
+        assert g.distance_matrix[0][3] == 3
+        assert g.distance_matrix[0][5] == 1
+
+    def test_shortest_path(self):
+        g = cycle_graph(6)
+        path = g.shortest_path(0, 3)
+        assert path[0] == 0 and path[-1] == 3 and len(path) == 4
+        assert g.shortest_path(2, 2) == (2,)
+
+    def test_neighbors(self):
+        g = star_graph(5)
+        assert g.neighbors(0) == frozenset({1, 2, 3, 4})
+        assert g.neighbors(3) == frozenset({0})
+
+
+class TestHamiltonian:
+    def test_path_and_cycle_follow_labels(self):
+        assert path_graph(6).labels_follow_hamiltonian_path
+        assert cycle_graph(6).labels_follow_hamiltonian_path
+        assert complete_graph(4).labels_follow_hamiltonian_path
+        assert wheel_graph(6).labels_follow_hamiltonian_path
+        assert k2().labels_follow_hamiltonian_path
+
+    def test_star_has_no_hamiltonian_path(self):
+        assert star_graph(4).hamiltonian_path is None
+
+    def test_tree_has_no_hamiltonian_path(self):
+        assert complete_binary_tree(2).hamiltonian_path is None
+
+    def test_petersen_hint_is_valid_path(self):
+        g = petersen_graph()
+        path = g.hamiltonian_path
+        assert path is not None and sorted(path) == list(range(10))
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b)
+
+    def test_dp_search_finds_path_without_hint(self):
+        """Strip the hint from the Petersen graph; the DP must still find one."""
+        g = petersen_graph()
+        bare = FactorGraph.from_edge_list(10, g.edges, name="petersen-bare")
+        path = bare.hamiltonian_path
+        assert path is not None
+        for a, b in zip(path, path[1:]):
+            assert bare.has_edge(a, b)
+
+    def test_de_bruijn_hint_valid(self):
+        for order in (2, 3, 4):
+            g = de_bruijn_graph(order)
+            assert g.hamiltonian_hint is not None
+            for a, b in zip(g.hamiltonian_hint, g.hamiltonian_hint[1:]):
+                assert g.has_edge(a, b)
+
+    def test_relabel_canonical(self):
+        g = petersen_graph().canonically_labelled()
+        assert g.labels_follow_hamiltonian_path
+
+    def test_relabel_validation(self):
+        with pytest.raises(ValueError):
+            path_graph(3).relabel([0, 0, 1])
+
+
+class TestLinearEmbedding:
+    def test_hamiltonian_factor_embeds_trivially(self):
+        emb = cycle_graph(5).linear_embedding()
+        assert emb.dilation == 1 and emb.congestion == 1
+        assert emb.is_hamiltonian()
+
+    def test_tree_embedding_dilation_three(self):
+        """Sekanina's construction: any connected graph embeds the linear
+        array with dilation <= 3 (paper §2's fallback labelling)."""
+        for h in (1, 2, 3):
+            emb = complete_binary_tree(h).linear_embedding()
+            assert sorted(emb.order) == list(range(2 ** (h + 1) - 1))
+            assert emb.dilation <= 3
+
+    def test_star_embedding(self):
+        emb = star_graph(6).linear_embedding()
+        assert emb.dilation <= 3
+        assert sorted(emb.order) == list(range(6))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_embed(self, seed):
+        g = random_connected_graph(9, extra_edge_prob=0.1, seed=seed)
+        emb = g.linear_embedding()
+        assert emb.dilation <= 3
+        # every consecutive pair is joined by its recorded path
+        for i, path in enumerate(emb.paths):
+            assert path[0] == emb.order[i] and path[-1] == emb.order[i + 1]
+            for a, b in zip(path, path[1:]):
+                assert g.has_edge(a, b)
+
+
+class TestLibraryShapes:
+    def test_petersen_is_cubic(self):
+        g = petersen_graph()
+        assert g.n == 10 and len(g.edges) == 15
+        assert all(g.degree(u) == 3 for u in range(10))
+        assert g.diameter == 2
+
+    def test_de_bruijn_size(self):
+        g = de_bruijn_graph(3)
+        assert g.n == 8
+        assert g.is_connected
+
+    def test_shuffle_exchange_connected(self):
+        for order in (2, 3, 4):
+            assert shuffle_exchange_graph(order).is_connected
+
+    def test_complete_binary_tree_shape(self):
+        g = complete_binary_tree(2)
+        assert g.n == 7 and len(g.edges) == 6
+        assert g.degree(0) == 2 and g.degree(3) == 1
+
+    def test_k2(self):
+        g = k2()
+        assert g.n == 2 and g.has_edge(0, 1)
+
+    def test_random_connected_is_connected(self):
+        for seed in range(10):
+            assert random_connected_graph(8, seed=seed).is_connected
+
+    def test_factory_validation(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+        with pytest.raises(ValueError):
+            wheel_graph(3)
+        with pytest.raises(ValueError):
+            de_bruijn_graph(0)
+        with pytest.raises(ValueError):
+            random_connected_graph(1)
+        with pytest.raises(ValueError):
+            random_connected_graph(4, extra_edge_prob=1.5)
+
+    def test_to_networkx(self):
+        nx_graph = petersen_graph().to_networkx()
+        assert nx_graph.number_of_nodes() == 10
+        assert nx_graph.number_of_edges() == 15

@@ -1,0 +1,219 @@
+"""Unit and property tests for N-ary reflected Gray codes (paper §2, Def. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orders.gray import (
+    fixed_symbol_positions,
+    fixed_symbol_subsequence,
+    gray_next,
+    gray_rank,
+    gray_sequence,
+    gray_unrank,
+    group_sequence,
+    hamming_distance,
+    hamming_weight,
+    is_gray_sequence,
+    iter_gray_sequence,
+    rank_lattice,
+    rank_parity,
+    reflect_sequence,
+    subsequence_positions,
+)
+
+nr_params = st.tuples(st.integers(2, 5), st.integers(1, 4))
+
+
+class TestPaperExamples:
+    """The explicit sequences printed in §2."""
+
+    def test_q1_ternary(self):
+        assert gray_sequence(3, 1) == [(0,), (1,), (2,)]
+
+    def test_q2_ternary(self):
+        expected = [(0, 0), (0, 1), (0, 2), (1, 2), (1, 1), (1, 0), (2, 0), (2, 1), (2, 2)]
+        assert gray_sequence(3, 2) == expected
+
+    def test_q3_ternary_prefix_blocks(self):
+        """Q_3 = [0]Q_2 ++ [1]R(Q_2) ++ [2]Q_2 (Definition 3)."""
+        q2 = gray_sequence(3, 2)
+        q3 = gray_sequence(3, 3)
+        assert q3[:9] == [(0,) + lab for lab in q2]
+        assert q3[9:18] == [(1,) + lab for lab in reflect_sequence(q2)]
+        assert q3[18:] == [(2,) + lab for lab in q2]
+
+    def test_group_sequence_example(self):
+        """The [*]Q^1_2 sequence printed in §2."""
+        expected = [
+            (0, 0), (0, 1), (0, 2), (1, 2), (1, 1), (1, 0), (2, 0), (2, 1), (2, 2),
+        ]
+        assert group_sequence(3, 3, erased=1) == expected
+
+    def test_subsequence_positions_formula(self):
+        """[u]Q^1: positions u, 2N-u-1, 2N+u, 4N-u-1, ... (§2)."""
+        assert subsequence_positions(3, 2, 0) == [0, 5, 6]
+        assert subsequence_positions(3, 2, 1) == [1, 4, 7]
+        assert subsequence_positions(3, 2, 2) == [2, 3, 8]
+        assert subsequence_positions(3, 3, 0) == [0, 5, 6, 11, 12, 17, 18, 23, 24]
+
+
+class TestRankUnrank:
+    @given(nr_params)
+    @settings(max_examples=60)
+    def test_bijection(self, params):
+        n, r = params
+        total = n**r
+        labels = {gray_unrank(p, n, r) for p in range(total)}
+        assert len(labels) == total
+        for p in range(total):
+            assert gray_rank(gray_unrank(p, n, r), n) == p
+
+    @given(nr_params)
+    @settings(max_examples=40)
+    def test_unit_hamming_steps(self, params):
+        n, r = params
+        seq = gray_sequence(n, r)
+        for a, b in zip(seq, seq[1:]):
+            assert hamming_distance(a, b) == 1
+
+    @given(nr_params)
+    @settings(max_examples=40)
+    def test_is_gray_sequence_accepts_canonical(self, params):
+        n, r = params
+        assert is_gray_sequence(gray_sequence(n, r), n)
+
+    def test_is_gray_sequence_rejects_bad(self):
+        assert not is_gray_sequence([], 3)
+        assert not is_gray_sequence([(0, 0), (1, 1)], 3)  # distance 2
+        assert not is_gray_sequence([(0, 0), (0, 1), (0, 0)], 3)  # repeat
+        assert not is_gray_sequence([(0, 0), (0, 3)], 3)  # symbol range
+
+    def test_rank_validates(self):
+        with pytest.raises(ValueError):
+            gray_rank((0, 3), 3)
+        with pytest.raises(ValueError):
+            gray_unrank(27, 3, 3)
+        with pytest.raises(ValueError):
+            gray_unrank(-1, 3, 3)
+        with pytest.raises(ValueError):
+            gray_rank((0,), 1)
+
+
+class TestGrayNext:
+    @given(nr_params)
+    @settings(max_examples=30)
+    def test_matches_unrank(self, params):
+        n, r = params
+        label = (0,) * r
+        for p in range(1, n**r):
+            label = gray_next(label, n)
+            assert label == gray_unrank(p, n, r)
+
+    def test_last_element_raises(self):
+        last = gray_unrank(3**3 - 1, 3, 3)
+        with pytest.raises(ValueError):
+            gray_next(last, 3)
+
+    def test_iterator_matches_list(self):
+        assert list(iter_gray_sequence(4, 3)) == [gray_unrank(p, 4, 3) for p in range(64)]
+
+
+class TestWeightsAndParity:
+    def test_hamming_weight_with_star(self):
+        assert hamming_weight((1, None, 2)) == 3
+
+    def test_hamming_distance_with_star(self):
+        assert hamming_distance((0, None, 2), (1, None, 2)) == 1
+        with pytest.raises(ValueError):
+            hamming_distance((0, None), (0, 1))
+
+    def test_distance_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance((0,), (0, 1))
+
+    @given(nr_params)
+    @settings(max_examples=30)
+    def test_rank_parity_equals_weight_parity(self, params):
+        """The identity Step 4 relies on to pick directions locally."""
+        n, r = params
+        for p in range(n**r):
+            lab = gray_unrank(p, n, r)
+            assert rank_parity(lab, n) == p % 2
+            assert hamming_weight(lab) % 2 == p % 2
+
+
+class TestRankLattice:
+    @given(nr_params)
+    @settings(max_examples=30)
+    def test_lattice_matches_scalar(self, params):
+        n, r = params
+        lattice = rank_lattice(n, r)
+        assert lattice.shape == (n,) * r
+        for idx in np.ndindex(*lattice.shape):
+            assert lattice[idx] == gray_rank(idx, n)
+
+    def test_lattice_readonly(self):
+        lat = rank_lattice(3, 2)
+        with pytest.raises(ValueError):
+            lat[0, 0] = 5
+
+    def test_lattice_is_permutation(self):
+        lat = rank_lattice(4, 3)
+        assert sorted(lat.ravel().tolist()) == list(range(64))
+
+
+class TestSubsequences:
+    @given(st.tuples(st.integers(2, 4), st.integers(2, 4)))
+    @settings(max_examples=30)
+    def test_positions_match_scan(self, params):
+        """The closed form for [u]Q^1 equals a literal scan."""
+        n, r = params
+        for u in range(n):
+            assert subsequence_positions(n, r, u) == fixed_symbol_positions(n, r, 1, u)
+
+    @given(st.tuples(st.integers(2, 4), st.integers(2, 4)))
+    @settings(max_examples=30)
+    def test_innermost_fix_preserves_gray_order(self, params):
+        """Fixing the rightmost symbol induces exactly Q_{r-1} — the
+        property that makes merge Step 1 free (§2/§4)."""
+        n, r = params
+        for u in range(n):
+            induced = fixed_symbol_subsequence(n, r, 1, u)
+            assert induced == gray_sequence(n, r - 1)
+
+    def test_fixed_symbol_validation(self):
+        with pytest.raises(ValueError):
+            fixed_symbol_positions(3, 2, 3, 0)
+        with pytest.raises(ValueError):
+            fixed_symbol_subsequence(3, 1, 1, 0)
+        with pytest.raises(ValueError):
+            subsequence_positions(3, 2, 5)
+
+
+class TestGroupSequences:
+    @given(st.tuples(st.integers(2, 4), st.integers(2, 4)))
+    @settings(max_examples=30)
+    def test_groups_are_gray_ordered(self, params):
+        """Consecutive group labels have unit Hamming distance (§2)."""
+        n, r = params
+        for erased in range(1, r):
+            groups = group_sequence(n, r, erased=erased)
+            assert len(groups) == n ** (r - erased)
+            assert len(set(groups)) == len(groups)
+            for a, b in zip(groups, groups[1:]):
+                assert hamming_distance(a, b) == 1
+
+    def test_group_sequence_equals_shorter_gray(self):
+        """Collapsing the innermost symbols of Q_r yields Q_{r-erased}."""
+        for erased in (1, 2):
+            assert group_sequence(3, 3, erased=erased) == gray_sequence(3, 3 - erased)
+
+    def test_group_sequence_validation(self):
+        with pytest.raises(ValueError):
+            group_sequence(3, 3, erased=3)
+        with pytest.raises(ValueError):
+            group_sequence(3, 3, erased=0)

@@ -1,0 +1,124 @@
+"""Tests for the fine-grained machine backend (cross-validation of §4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import sort_routing_calls, sort_s2_calls
+from repro.core.lattice_sort import ProductNetworkSorter
+from repro.core.machine_sort import MachineSorter
+from repro.graphs import (
+    complete_binary_tree,
+    cycle_graph,
+    k2,
+    path_graph,
+    random_connected_graph,
+    star_graph,
+)
+from repro.orders import lattice_to_sequence
+from repro.sorters2d import HypercubeThreeStepSorter, OddEvenSnakeSorter, ShearSorter
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "factory,r",
+        [
+            (lambda: path_graph(3), 2),
+            (lambda: path_graph(3), 3),
+            (lambda: path_graph(4), 3),
+            (lambda: path_graph(3), 4),
+            (lambda: cycle_graph(4), 3),
+            (lambda: k2(), 5),
+            (lambda: star_graph(4), 3),
+            (lambda: complete_binary_tree(1), 3),
+            (lambda: complete_binary_tree(2), 2),
+            (lambda: random_connected_graph(5, seed=13), 3),
+        ],
+        ids=["path3r2", "path3r3", "path4r3", "path3r4", "cycle4r3", "k2r5",
+             "star4r3", "cbt1r3", "cbt2r2", "random5r3"],
+    )
+    def test_sorts(self, factory, r, rng):
+        factor = factory()
+        ms = MachineSorter.for_factor(factor, r)
+        keys = rng.integers(0, 2**20, size=ms.network.num_nodes)
+        machine, ledger = ms.sort(keys)
+        assert np.array_equal(lattice_to_sequence(machine.lattice()), np.sort(keys))
+        assert ledger.s2_calls == sort_s2_calls(r)
+        assert ledger.routing_calls == sort_routing_calls(r)
+
+    def test_rejects_r1(self):
+        with pytest.raises(ValueError):
+            MachineSorter.for_factor(path_graph(3), 1)
+
+    def test_every_round_attributed(self, rng):
+        ms = MachineSorter.for_factor(path_graph(3), 3)
+        keys = rng.integers(0, 100, size=27)
+        machine, ledger = ms.sort(keys)
+        assert machine.rounds == ledger.total_rounds
+
+    def test_generic_snake_sorter_backend(self, rng):
+        ms = MachineSorter.for_factor(path_graph(3), 3, OddEvenSnakeSorter())
+        keys = rng.integers(0, 100, size=27)
+        machine, _ = ms.sort(keys)
+        assert np.array_equal(lattice_to_sequence(machine.lattice()), np.sort(keys))
+
+    def test_default_sorter_selection(self):
+        assert isinstance(MachineSorter.for_factor(k2(), 3).sorter, HypercubeThreeStepSorter)
+        assert isinstance(MachineSorter.for_factor(path_graph(3), 3).sorter, ShearSorter)
+
+
+class TestCrossValidation:
+    """The two backends are the same algorithm: identical final lattices."""
+
+    @pytest.mark.parametrize(
+        "factory,r",
+        [
+            (lambda: path_graph(3), 3),
+            (lambda: cycle_graph(4), 3),
+            (lambda: k2(), 4),
+            (lambda: complete_binary_tree(1), 3),
+        ],
+        ids=["path3", "cycle4", "k2", "cbt1"],
+    )
+    def test_lattice_equals_machine(self, factory, r, rng):
+        factor = factory()
+        keys = rng.integers(0, 10**6, size=factor.n**r)
+        lat_sorter = ProductNetworkSorter.for_factor(factor, r)
+        lattice, _ = lat_sorter.sort_sequence(keys)
+        machine, _ = MachineSorter.for_factor(factor, r).sort(keys)
+        assert np.array_equal(lattice, machine.lattice())
+
+
+class TestHypercubeRounds:
+    """§5.3: the measured cost against the paper's 3(r-1)^2 + (r-1)(r-2).
+
+    Our implementation is one round cheaper per merge level: with N = 2
+    there are only two dimension-{1,2} blocks per merge, so the second
+    odd-even block transposition has no pairs and costs zero.  Hence
+    measured = paper_formula - (r - 2) for r >= 2.
+    """
+
+    @pytest.mark.parametrize("r", [2, 3, 4, 5, 6])
+    def test_exact_rounds(self, r, rng):
+        ms = MachineSorter.for_factor(k2(), r)
+        keys = rng.integers(0, 2**20, size=2**r)
+        _, ledger = ms.sort(keys)
+        paper = 3 * (r - 1) ** 2 + (r - 1) * (r - 2)
+        assert ledger.total_rounds == paper - max(0, r - 2)
+        assert ledger.total_rounds <= paper
+
+
+class TestLabellingEffect:
+    """§2/§4 remark: Hamiltonian labelling affects constants only."""
+
+    def test_tree_costs_more_than_path_but_sorts(self, rng):
+        keys = rng.integers(0, 1000, size=27)
+        # 3-node path vs the same 3 nodes labelled as a star-ish tree is
+        # degenerate; use 7-node factors at r = 2 instead
+        keys = rng.integers(0, 1000, size=49)
+        path_rounds = MachineSorter.for_factor(path_graph(7), 2).sort(keys)[1].total_rounds
+        tree_rounds = MachineSorter.for_factor(complete_binary_tree(2), 2).sort(keys)[1].total_rounds
+        assert tree_rounds > path_rounds
+        # constant-factor, not asymptotic: within the 2*dilation bound
+        assert tree_rounds <= 6 * path_rounds

@@ -1,0 +1,96 @@
+"""Tests for the machine traffic recorder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.machine_sort import MachineSorter
+from repro.graphs import ProductGraph, complete_binary_tree, path_graph
+from repro.machine.machine import NetworkMachine
+from repro.machine.stats import TrafficRecorder
+
+
+def _run_sort_with_recorder(factor, r, rng):
+    ms = MachineSorter.for_factor(factor, r)
+    keys = rng.integers(0, 2**20, size=ms.network.num_nodes)
+    machine = NetworkMachine(ms.network, keys)
+    recorder = TrafficRecorder(ms.network)
+    machine.recorder = recorder
+    # drive the sorter's phases manually through the shared machine
+    root = ms.network.subgraph((), ())
+    blocks = ms._pg2_blocks(root)
+    ms.sorter.sort_batch(machine, blocks, [False] * len(blocks))
+    for j in range(3, r + 1):
+        from repro.machine.metrics import CostLedger
+
+        ms._merge_batch(machine, ms._level_views(j), CostLedger())
+    return machine, recorder
+
+
+class TestRecorder:
+    def test_counts_basic_step(self):
+        net = ProductGraph(path_graph(3), 2)
+        machine = NetworkMachine(net, np.arange(9))
+        rec = TrafficRecorder(net)
+        machine.recorder = rec
+        machine.compare_exchange([((0, 0), (0, 1)), ((1, 0), (2, 0))])
+        stats = rec.stats()
+        assert stats.operations == 1 and stats.pair_count == 2
+        assert stats.dimension_ops == {1: 1, 2: 1}
+        assert stats.adjacent_pairs == 2 and stats.routed_pairs == 0
+        assert stats.mean_parallelism == 2.0
+
+    def test_routed_pairs_detected(self):
+        net = ProductGraph(complete_binary_tree(2), 1)
+        machine = NetworkMachine(net, np.arange(7))
+        rec = TrafficRecorder(net)
+        machine.recorder = rec
+        machine.compare_exchange([((3,), (4,))])  # leaves: non-adjacent
+        assert rec.stats().routed_pairs == 1
+
+    def test_reset(self):
+        net = ProductGraph(path_graph(3), 2)
+        machine = NetworkMachine(net, np.arange(9))
+        rec = TrafficRecorder(net)
+        machine.recorder = rec
+        machine.compare_exchange([((0, 0), (0, 1))])
+        rec.reset()
+        assert rec.stats().operations == 0
+
+    def test_empty_stats(self):
+        rec = TrafficRecorder(ProductGraph(path_graph(3), 2))
+        stats = rec.stats()
+        assert stats.operations == 0 and stats.mean_parallelism == 0.0
+
+
+class TestSortTraffic:
+    def test_full_sort_traffic_profile(self, rng):
+        machine, rec = _run_sort_with_recorder(path_graph(3), 3, rng)
+        from repro.orders import lattice_to_sequence
+
+        seq = lattice_to_sequence(machine.lattice())
+        assert np.all(np.diff(seq) >= 0)
+        stats = rec.stats()
+        # every dimension participates; dims {1,2} dominate (base sorts)
+        assert set(stats.dimension_ops) == {1, 2, 3}
+        assert stats.dimension_ops[1] > stats.dimension_ops[3]
+        assert stats.dimension_ops[2] > stats.dimension_ops[3]
+        # all traffic on a path factor is adjacent
+        assert stats.routed_pairs == 0
+        assert 0 < stats.peak_node_utilisation <= 1.0
+
+    def test_dimension_lanes_bounded(self, rng):
+        machine, rec = _run_sort_with_recorder(path_graph(3), 3, rng)
+        stats = rec.stats()
+        # each dimension has N^(r-1) = 9 factor subgraphs at most
+        for d, lanes in stats.dimension_lanes.items():
+            assert 1 <= lanes <= 9
+
+    def test_tree_factor_routes(self, rng):
+        machine, rec = _run_sort_with_recorder(complete_binary_tree(1), 2, rng)
+        stats = rec.stats()
+        assert stats.pair_count > 0
+        # 3-node tree labelled 0-1-2 with edges 0-1, 0-2: consecutive labels
+        # (1,2) are non-adjacent, so some pairs must route
+        assert stats.routed_pairs > 0

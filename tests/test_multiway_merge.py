@@ -1,0 +1,210 @@
+"""Tests for the sequence-level multiway merge (paper §3.1, Figs. 6-11)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multiway_merge import (
+    clean_dirty_area,
+    distribute,
+    interleave,
+    multiway_merge,
+)
+from repro.core.verification import (
+    max_displacement,
+    measure_dirty_area,
+    zero_one_merge_inputs,
+)
+
+
+class TestDistribute:
+    def test_paper_example(self):
+        """§3.1 Step 1 example: A_u = 1..9, N = 3."""
+        assert distribute(list(range(1, 10)), 3) == [[1, 6, 7], [2, 5, 8], [3, 4, 9]]
+
+    def test_positions_formula(self):
+        """B_v gets positions v, 2N-v-1, 2N+v, ... of A."""
+        n, m = 4, 16
+        cols = distribute(list(range(m)), n)
+        for v in range(n):
+            expected = [p for p in range(m) if p % (2 * n) in (v, 2 * n - 1 - v)]
+            assert cols[v] == expected
+
+    def test_subsequences_stay_sorted(self):
+        seq = sorted([7, 1, 3, 3, 9, 2, 5, 8, 4])
+        for col in distribute(seq, 3):
+            assert col == sorted(col)
+
+    def test_validates_divisibility(self):
+        with pytest.raises(ValueError):
+            distribute([1, 2, 3, 4], 3)
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        cols = [[0, 3], [1, 4], [2, 5]]
+        assert interleave(cols, 3) == [0, 1, 2, 3, 4, 5]
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            interleave([[1], [2]], 3)
+        with pytest.raises(ValueError):
+            interleave([[1], [2, 3], [4]], 3)
+
+    def test_inverse_of_distribute_columns(self):
+        """Interleaving the columns of a snake-arranged block recovers a
+        permutation of the original (same multiset, structured order)."""
+        seq = list(range(12))
+        cols = distribute(seq, 3)
+        mixed = interleave(cols, 3)
+        assert sorted(mixed) == seq
+
+
+class TestCleanDirtyArea:
+    def test_cleans_single_block_dirt(self):
+        d = [0, 0, 1, 0] + [1] * 4  # dirty inside block 0 (N=2)
+        assert clean_dirty_area(d, 2) == sorted(d)
+
+    def test_cleans_straddling_dirt(self):
+        # dirty area split across two adjacent blocks
+        d = [0, 0, 0, 1, 0, 1, 1, 1]
+        assert clean_dirty_area(d, 2) == sorted(d)
+
+    def test_leaves_sorted_input_sorted(self):
+        d = list(range(18))
+        assert clean_dirty_area(d, 3) == d
+
+    def test_validates_length(self):
+        with pytest.raises(ValueError):
+            clean_dirty_area([1, 2, 3], 2)
+
+    def test_wide_dirt_beyond_bound_may_survive(self):
+        """The clean-up only guarantees repair of <= N^2 windows; a fully
+        shuffled input demonstrates the precondition matters."""
+        d = [7, 0, 3, 1, 6, 2, 5, 4, 7, 0, 3, 1, 6, 2, 5, 4]
+        out = clean_dirty_area(d, 2)
+        assert sorted(out) == sorted(d)  # conserved even when not sorted
+
+
+class TestMergeValidation:
+    def test_rejects_short_sequences(self):
+        with pytest.raises(ValueError):
+            multiway_merge([[1, 2], [3, 4]])  # m = N < N^2
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            multiway_merge([[1, 2, 3, 4], [1, 2, 3]])
+
+    def test_rejects_non_power_length(self):
+        with pytest.raises(ValueError):
+            multiway_merge([[1] * 6, [2] * 6])
+
+    def test_rejects_single_sequence(self):
+        with pytest.raises(ValueError):
+            multiway_merge([[1, 2, 3, 4]])
+
+    def test_validate_flag_catches_unsorted(self):
+        with pytest.raises(ValueError):
+            multiway_merge([[2, 1, 3, 4], [1, 2, 3, 4]], validate=True)
+
+
+class TestMergeCorrectness:
+    @pytest.mark.parametrize("n,k", [(2, 3), (2, 4), (2, 5), (3, 3), (3, 4), (4, 3), (5, 3)])
+    def test_random_inputs(self, n, k):
+        import random
+
+        rng = random.Random(n * 100 + k)
+        m = n ** (k - 1)
+        for _ in range(10):
+            seqs = [sorted(rng.randrange(60) for _ in range(m)) for _ in range(n)]
+            out = multiway_merge(seqs, validate=True)
+            assert out == sorted(x for s in seqs for x in s)
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_exhaustive_zero_one_k3(self, n):
+        """Zero-one principle, exhausted: every 0-1 instance at k = 3."""
+        m = n * n
+        for seqs in zero_one_merge_inputs(n, m):
+            assert multiway_merge(seqs) == sorted(x for s in seqs for x in s)
+
+    @pytest.mark.slow
+    def test_exhaustive_zero_one_k4_binary(self):
+        for seqs in zero_one_merge_inputs(2, 8):
+            assert multiway_merge(seqs) == sorted(x for s in seqs for x in s)
+
+    def test_duplicates_heavy(self):
+        seqs = [[1] * 9, [1] * 9, [0] * 4 + [1] * 5]
+        assert multiway_merge(seqs) == sorted(x for s in seqs for x in s)
+
+    def test_stability_of_multiset(self):
+        seqs = [sorted([3, 1, 4, 1, 5, 9, 2, 6, 5]), sorted([3, 5, 8, 9, 7, 9, 3, 2, 3]),
+                sorted([8, 4, 6, 2, 6, 4, 3, 3, 8])]
+        out = multiway_merge(seqs)
+        assert out == sorted(x for s in seqs for x in s)
+
+    @given(st.lists(st.integers(0, 9), min_size=27, max_size=27))
+    @settings(max_examples=40)
+    def test_property_random_keys(self, flat):
+        seqs = [sorted(flat[i * 9 : (i + 1) * 9]) for i in range(3)]
+        assert multiway_merge(seqs) == sorted(flat)
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_dirty_area_bounded_exhaustive(self, n):
+        """Lemma 1: after Step 3 the dirty window never exceeds N^2 —
+        exhausted over all 0-1 instances."""
+        worst = 0
+        for seqs in zero_one_merge_inputs(n, n * n):
+            captured = {}
+            multiway_merge(seqs, trace=lambda e, p: captured.update({e: p}))
+            dirty = measure_dirty_area(captured["step3_D"])
+            worst = max(worst, dirty)
+            assert dirty <= n * n
+        assert worst == n * n  # the bound is tight
+
+    def test_displacement_bounded_random_keys(self):
+        """§4 Step 3: "every key is within a distance of N^2 from its final
+        position" — the general-key face of Lemma 1."""
+        import random
+
+        rng = random.Random(6)
+        n = 4
+        for _ in range(25):
+            seqs = [sorted(rng.randrange(30) for _ in range(16)) for _ in range(n)]
+            captured = {}
+            multiway_merge(seqs, trace=lambda e, p: captured.update({e: p}))
+            assert max_displacement(captured["step3_D"]) <= n * n
+
+
+class TestTraceEvents:
+    def test_all_events_fire(self):
+        events = []
+        multiway_merge(
+            [sorted(range(0, 9)), sorted(range(4, 13)), sorted(range(2, 11))],
+            trace=lambda e, p: events.append(e),
+        )
+        assert events == [
+            "step1_B",
+            "step2_C",
+            "step3_D",
+            "step4_F",
+            "step4_G",
+            "step4_H",
+            "step4_I",
+            "result",
+        ]
+
+    def test_step1_payload_shape(self):
+        captured = {}
+        multiway_merge(
+            [list(range(9)), list(range(9)), list(range(9))],
+            trace=lambda e, p: captured.update({e: p}),
+        )
+        b = captured["step1_B"]
+        assert len(b) == 3 and all(len(row) == 3 for row in b)
+        assert all(len(col) == 3 for row in b for col in row)
+        c = captured["step2_C"]
+        assert len(c) == 3 and all(len(col) == 9 for col in c)

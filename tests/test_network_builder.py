@@ -1,0 +1,141 @@
+"""Tests for the §3.2 comparator-network compilation of the multiway merge."""
+
+from __future__ import annotations
+
+import random
+from itertools import product as iproduct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.batcher import (
+    network_depth,
+    network_size,
+    odd_even_merge_sort_network,
+)
+from repro.core.machine_sort import MachineSorter
+from repro.core.network_builder import (
+    batcher_base,
+    multiway_merge_network,
+    multiway_sort_network,
+    transposition_base,
+)
+from repro.core.verification import zero_one_sequences
+from repro.graphs import k2
+
+
+class TestMergeNetwork:
+    @pytest.mark.parametrize("n,k", [(2, 3), (2, 4), (3, 3)])
+    def test_all_zero_one_merge_instances(self, n, k):
+        net = multiway_merge_network(n, k)
+        m = n ** (k - 1)
+        for zeros in iproduct(range(m + 1), repeat=n):
+            keys: list[int] = []
+            for z in zeros:
+                keys += [0] * z + [1] * (m - z)
+            assert net.apply(keys) == sorted(keys)
+
+    def test_random_keys(self):
+        rng = random.Random(3)
+        net = multiway_merge_network(3, 3)
+        for _ in range(50):
+            keys: list[int] = []
+            for _ in range(3):
+                keys += sorted(rng.randrange(50) for _ in range(9))
+            assert net.apply(keys) == sorted(keys)
+
+    def test_layers_are_parallel(self):
+        multiway_merge_network(3, 3).validate_layers()
+        multiway_merge_network(2, 5).validate_layers()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multiway_merge_network(2, 2)
+        with pytest.raises(ValueError):
+            multiway_merge_network(1, 3)
+
+
+class TestSortNetwork:
+    @pytest.mark.parametrize("n,r", [(2, 2), (2, 3), (2, 4), (3, 2)])
+    def test_zero_one_exhaustive(self, n, r):
+        """Full zero-one-principle exhaustion: these widths are proofs."""
+        net = multiway_sort_network(n, r)
+        for bits in zero_one_sequences(n**r):
+            assert net.apply(bits) == sorted(bits)
+
+    def test_larger_instances_random(self):
+        rng = random.Random(9)
+        for n, r in [(3, 3), (4, 2), (2, 5)]:
+            net = multiway_sort_network(n, r)
+            for _ in range(30):
+                keys = [rng.randrange(100) for _ in range(n**r)]
+                assert net.apply(keys) == sorted(keys)
+
+    @given(st.lists(st.integers(-50, 50), min_size=16, max_size=16))
+    @settings(max_examples=40)
+    def test_property_16(self, keys):
+        assert multiway_sort_network(2, 4).apply(keys) == sorted(keys)
+
+    def test_transposition_base(self):
+        rng = random.Random(4)
+        net = multiway_sort_network(3, 2, base=transposition_base)
+        for _ in range(30):
+            keys = [rng.randrange(40) for _ in range(9)]
+            assert net.apply(keys) == sorted(keys)
+
+    def test_batcher_base_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            batcher_base([0, 1, 2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multiway_sort_network(2, 1)
+
+
+class TestNormalization:
+    def test_normalized_is_standard_network(self):
+        rng = random.Random(5)
+        net = multiway_sort_network(2, 4).normalized()
+        assert net.order == tuple(range(16))
+        for bits in zero_one_sequences(10):
+            padded = list(bits) + [0] * 6
+            rng.shuffle(padded)
+            assert net.apply(padded) == sorted(padded)
+
+    def test_normalization_preserves_depth_and_size(self):
+        net = multiway_sort_network(3, 2)
+        norm = net.normalized()
+        assert (net.depth, net.size) == (norm.depth, norm.size)
+
+    def test_apply_validates_width(self):
+        with pytest.raises(ValueError):
+            multiway_sort_network(2, 3).apply([1, 2, 3])
+
+
+class TestDepthSemantics:
+    @pytest.mark.parametrize("r", [2, 3, 4, 5])
+    def test_depth_equals_machine_rounds_on_hypercube(self, r, rng):
+        """The compiled network's depth IS the parallel time: it equals the
+        fine-grained machine's measured rounds for the same (N=2) algorithm
+        — Steps 1/3 contribute no layers, transpositions one layer each."""
+        net = multiway_sort_network(2, r)
+        keys = rng.integers(0, 1000, size=2**r)
+        _, ledger = MachineSorter.for_factor(k2(), r).sort(keys)
+        assert net.depth == ledger.total_rounds
+
+    def test_shallower_than_transposition_sort_at_scale(self):
+        """O(r^2) depth beats transposition sort's 2^r depth once r >= 8
+        (the crossover: depth 183 < 256 wires at r = 8, but 91 > 64 at
+        r = 6 — quadratic constants need scale to win)."""
+        assert multiway_sort_network(2, 6).depth > 2**6
+        assert multiway_sort_network(2, 8).depth < 2**8
+
+    def test_batcher_constant_factor(self):
+        """Same O(log^2) depth class as Batcher, constant factor <= 8."""
+        for r in (4, 5, 6):
+            ours = multiway_sort_network(2, r)
+            batcher = odd_even_merge_sort_network(2**r)
+            assert ours.depth <= 8 * network_depth(batcher)
+            assert ours.size <= 8 * network_size(batcher)

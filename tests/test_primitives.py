@@ -1,0 +1,139 @@
+"""Tests for machine-level compare-exchange primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.library import complete_binary_tree, cycle_graph, path_graph, star_graph
+from repro.graphs.product import ProductGraph
+from repro.machine.machine import NetworkMachine
+from repro.machine.primitives import (
+    odd_even_transposition_rounds,
+    odd_even_transposition_sort,
+    parallel_transposition_phases,
+    product_snake_labels,
+    subgraph_snake_labels,
+)
+from repro.orders import gray_rank, lattice_to_sequence
+
+
+class TestSnakeLabels:
+    def test_product_snake_labels_order(self):
+        net = ProductGraph(path_graph(3), 2)
+        labels = product_snake_labels(net)
+        assert len(labels) == 9
+        assert [gray_rank(lab, 3) for lab in labels] == list(range(9))
+
+    def test_subgraph_snake_labels(self):
+        net = ProductGraph(path_graph(3), 3)
+        view = net.subgraph((3,), (1,))
+        labels = subgraph_snake_labels(view)
+        assert len(labels) == 9
+        assert all(lab[0] == 1 for lab in labels)
+        # reduced labels trace Q_2
+        reduced = [view.reduced_label(lab) for lab in labels]
+        assert [gray_rank(lab, 3) for lab in reduced] == list(range(9))
+
+    def test_consecutive_snake_labels_share_subgraph(self):
+        net = ProductGraph(cycle_graph(4), 3)
+        labels = product_snake_labels(net)
+        for a, b in zip(labels, labels[1:]):
+            assert net.differing_dimension(a, b) is not None
+
+
+class TestTranspositionSort:
+    @given(st.integers(0, 2**31 - 1), st.sampled_from([(3, 2), (4, 2), (3, 3), (2, 4)]))
+    @settings(max_examples=25, deadline=None)
+    def test_sorts_whole_product(self, seed, shape):
+        n, r = shape
+        net = ProductGraph(path_graph(n), r)
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 50, size=net.num_nodes)
+        m = NetworkMachine(net, keys)
+        odd_even_transposition_sort(m, product_snake_labels(net))
+        seq = lattice_to_sequence(m.lattice())
+        assert np.array_equal(seq, np.sort(keys))
+
+    def test_descending(self):
+        net = ProductGraph(path_graph(3), 2)
+        keys = np.arange(9)
+        m = NetworkMachine(net, keys.copy())
+        odd_even_transposition_sort(m, product_snake_labels(net), ascending=False)
+        seq = lattice_to_sequence(m.lattice())
+        assert np.array_equal(seq, np.sort(keys)[::-1])
+
+    def test_non_hamiltonian_costs_more_but_sorts(self):
+        g = complete_binary_tree(2)
+        net = ProductGraph(g, 1)
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 100, size=7)
+        m = NetworkMachine(net, keys)
+        rounds = odd_even_transposition_sort(m, product_snake_labels(net))
+        assert np.array_equal(lattice_to_sequence(m.lattice()), np.sort(keys))
+        assert rounds >= 7  # at least one round per phase
+
+    def test_trivial_lengths(self):
+        net = ProductGraph(path_graph(3), 1)
+        m = NetworkMachine(net, np.array([3, 1, 2]))
+        assert odd_even_transposition_sort(m, [(0,)]) == 0
+        assert odd_even_transposition_sort(m, []) == 0
+
+    def test_round_budget_parameter(self):
+        """Truncated phases leave the worst-case input unsorted."""
+        net = ProductGraph(path_graph(4), 1)
+        m = NetworkMachine(net, np.array([3, 2, 1, 0]))
+        odd_even_transposition_sort(m, product_snake_labels(net), rounds=1)
+        assert not np.array_equal(m.keys, np.sort(m.keys))
+
+    def test_rounds_helper(self):
+        assert odd_even_transposition_rounds(5) == 5
+        assert odd_even_transposition_rounds(0) == 0
+
+
+class TestParallelChains:
+    def test_disjoint_chains_share_rounds(self):
+        """k chains in lockstep cost the same rounds as one chain."""
+        net = ProductGraph(path_graph(4), 2)
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 100, size=16)
+        m = NetworkMachine(net, keys)
+        rows = [[(x2, x1) for x1 in range(4)] for x2 in range(4)]
+        chains = [(row, True) for row in rows]
+        rounds = parallel_transposition_phases(m, chains)
+        assert rounds == 4  # one round per phase, all rows simultaneously
+        lat = m.lattice()
+        for x2 in range(4):
+            assert list(lat[x2]) == sorted(lat[x2])
+
+    def test_mixed_directions(self):
+        net = ProductGraph(path_graph(4), 2)
+        keys = np.arange(16)
+        m = NetworkMachine(net, keys.copy())
+        chains = [([(0, x1) for x1 in range(4)], True), ([(1, x1) for x1 in range(4)], False)]
+        parallel_transposition_phases(m, chains)
+        lat = m.lattice()
+        assert list(lat[0]) == sorted(lat[0])
+        assert list(lat[1]) == sorted(lat[1], reverse=True)
+
+    def test_empty(self):
+        net = ProductGraph(path_graph(3), 1)
+        m = NetworkMachine(net, np.arange(3))
+        assert parallel_transposition_phases(m, []) == 0
+
+    def test_overlapping_chains_rejected(self):
+        net = ProductGraph(path_graph(3), 1)
+        m = NetworkMachine(net, np.arange(3))
+        chains = [([(0,), (1,)], True), ([(1,), (2,)], True)]
+        with pytest.raises(ValueError):
+            parallel_transposition_phases(m, chains)
+
+    def test_star_chain_needs_routing(self):
+        g = star_graph(5)
+        net = ProductGraph(g, 1)
+        m = NetworkMachine(net, np.array([4, 3, 2, 1, 0]))
+        rounds = odd_even_transposition_sort(m, product_snake_labels(net))
+        assert np.array_equal(m.keys, np.sort(np.array([4, 3, 2, 1, 0])))
+        assert rounds > 5  # label-consecutive leaves are non-adjacent

@@ -1,0 +1,139 @@
+"""Tests for product-network construction (paper §2, Definition 1, Figs. 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.library import cycle_graph, k2, path_graph, petersen_graph
+from repro.graphs.product import ProductGraph
+
+
+class TestDefinition1:
+    def test_hypercube_is_product_of_k2(self):
+        """PG_r of K_2 is the r-cube: 2^r nodes, r*2^(r-1) edges, degree r."""
+        for r in (1, 2, 3, 4):
+            pg = ProductGraph(k2(), r)
+            assert pg.num_nodes == 2**r
+            assert pg.num_edges == r * 2 ** (r - 1)
+            for x in pg.nodes():
+                assert pg.degree(x) == r
+
+    def test_grid_is_product_of_path(self):
+        pg = ProductGraph(path_graph(3), 2)
+        assert pg.num_nodes == 9
+        assert pg.num_edges == 2 * 2 * 3  # r * |E| * N^(r-1)
+        assert pg.is_edge((0, 0), (0, 1))
+        assert pg.is_edge((0, 0), (1, 0))
+        assert not pg.is_edge((0, 0), (1, 1))  # two positions differ
+        assert not pg.is_edge((0, 0), (0, 2))  # not a factor edge
+
+    def test_edges_iterate_once(self):
+        pg = ProductGraph(cycle_graph(4), 2)
+        edges = list(pg.edges())
+        assert len(edges) == pg.num_edges
+        assert len({tuple(sorted(map(pg.flat_index, e))) for e in edges}) == len(edges)
+
+    def test_neighbors_match_is_edge(self):
+        pg = ProductGraph(petersen_graph(), 2)
+        x = (3, 7)
+        nbrs = set(pg.neighbors(x))
+        assert all(pg.is_edge(x, y) for y in nbrs)
+        assert len(nbrs) == pg.degree(x)
+
+    def test_differing_dimension(self):
+        pg = ProductGraph(path_graph(3), 3)
+        assert pg.differing_dimension((0, 1, 2), (0, 1, 1)) == 1
+        assert pg.differing_dimension((0, 1, 2), (1, 1, 2)) == 3
+        assert pg.differing_dimension((0, 1, 2), (0, 1, 2)) is None
+        assert pg.differing_dimension((0, 1, 2), (1, 2, 2)) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProductGraph(path_graph(3), 0)
+
+
+class TestFlatIndex:
+    def test_roundtrip(self):
+        pg = ProductGraph(path_graph(3), 3)
+        for i in range(pg.num_nodes):
+            assert pg.flat_index(pg.label_of(i)) == i
+
+    def test_c_order(self):
+        """Flat index is the C-order index of the (N,)*r key lattice."""
+        import numpy as np
+
+        pg = ProductGraph(path_graph(3), 2)
+        arange = np.arange(9).reshape(3, 3)
+        for label in pg.nodes():
+            assert arange[label] == pg.flat_index(label)
+
+    def test_validation(self):
+        pg = ProductGraph(path_graph(3), 2)
+        with pytest.raises(ValueError):
+            pg.flat_index((0, 3))
+        with pytest.raises(ValueError):
+            pg.flat_index((0,))
+        with pytest.raises(ValueError):
+            pg.label_of(9)
+
+
+class TestSubgraphViews:
+    def test_dimension_copies(self):
+        """Erasing dimension 1 of PG_3 leaves N copies of PG_2 (Fig. 2)."""
+        pg = ProductGraph(path_graph(3), 3)
+        copies = pg.dimension_copies(1)
+        assert len(copies) == 3
+        seen = set()
+        for u, view in enumerate(copies):
+            nodes = list(view.nodes())
+            assert len(nodes) == 9
+            assert all(lab[-1] == u for lab in nodes)
+            seen.update(nodes)
+        assert len(seen) == 27
+
+    def test_full_and_reduced_roundtrip(self):
+        pg = ProductGraph(path_graph(3), 4)
+        view = pg.subgraph((1, 3), (2, 0))
+        for reduced in [(0, 0), (1, 2), (2, 1)]:
+            full = view.full_label(reduced)
+            assert len(full) == 4
+            # position 1 (rightmost) == 2, position 3 == 0
+            assert full[3] == 2 and full[1] == 0
+            assert view.reduced_label(full) == reduced
+
+    def test_reduced_label_validates_membership(self):
+        pg = ProductGraph(path_graph(3), 3)
+        view = pg.subgraph((1,), (2,))
+        with pytest.raises(ValueError):
+            view.reduced_label((0, 0, 1))  # position 1 is 1, not 2
+
+    def test_subgraph_validation(self):
+        pg = ProductGraph(path_graph(3), 3)
+        with pytest.raises(ValueError):
+            pg.subgraph((1, 1), (0, 0))
+        with pytest.raises(ValueError):
+            pg.subgraph((4,), (0,))
+        with pytest.raises(ValueError):
+            pg.subgraph((1,), (5,))
+        with pytest.raises(ValueError):
+            pg.subgraph((1,), (0, 1))
+
+    def test_view_nodes_form_isomorphic_product(self):
+        """A [u]PG^i view's nodes, reduced, enumerate PG_{r-1} exactly."""
+        pg = ProductGraph(cycle_graph(3), 3)
+        view = pg.subgraph((2,), (1,))
+        reduced = sorted(view.reduced_label(f) for f in view.nodes())
+        sub = view.as_product_graph()
+        assert reduced == sorted(sub.nodes())
+        assert sub.r == 2
+
+    def test_empty_view_is_whole_graph(self):
+        pg = ProductGraph(path_graph(3), 2)
+        view = pg.subgraph((), ())
+        assert view.reduced_order == 2
+        assert view.full_label((1, 2)) == (1, 2)
+
+    def test_to_networkx(self):
+        pg = ProductGraph(k2(), 3)
+        g = pg.to_networkx()
+        assert g.number_of_nodes() == 8 and g.number_of_edges() == 12

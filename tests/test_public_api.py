@@ -1,0 +1,65 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestEagerExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_graph_factories(self):
+        assert repro.path_graph(4).n == 4
+        assert repro.petersen_graph().n == 10
+        assert repro.ProductGraph(repro.k2(), 3).num_nodes == 8
+
+    def test_order_functions(self):
+        assert repro.gray_rank((1, 0), 3) == 5
+        assert repro.gray_unrank(5, 3, 2) == (1, 0)
+        lat = repro.sequence_to_lattice(np.arange(9), 3, 2)
+        assert repro.is_snake_sorted(lat)
+        assert np.array_equal(repro.lattice_to_sequence(lat), np.arange(9))
+
+
+class TestLazyExports:
+    def test_product_network_sorter(self):
+        sorter = repro.ProductNetworkSorter.for_factor(repro.path_graph(3), 3)
+        keys = np.arange(27)[::-1].copy()
+        lattice, ledger = sorter.sort_sequence(keys)
+        assert repro.is_snake_sorted(lattice)
+        assert ledger.total_rounds > 0
+
+    def test_machine_sorter(self):
+        ms = repro.MachineSorter.for_factor(repro.k2(), 3)
+        machine, _ = ms.sort(np.arange(8)[::-1].copy())
+        assert repro.is_snake_sorted(machine.lattice())
+
+    def test_merge_and_sort(self):
+        assert repro.multiway_merge([[0, 2, 4, 6], [1, 3, 5, 7]]) == list(range(8))
+        assert repro.multiway_merge_sort([3, 1, 2, 0], 2) == [0, 1, 2, 3]
+
+    def test_baselines(self):
+        assert repro.batcher_odd_even_merge_sort([3, 1, 2, 0]) == [0, 1, 2, 3]
+        assert repro.bitonic_sort([3, 1, 2, 0]) == [0, 1, 2, 3]
+        out, _ = repro.columnsort([3, 1, 2, 0], 2, 2)
+        assert out == [0, 1, 2, 3]
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_real_name
+
+
+class TestDocstringQuickstart:
+    def test_readme_snippet_runs(self):
+        """The quickstart in ``repro.__doc__`` must actually work."""
+        from repro import ProductNetworkSorter, path_graph
+
+        sorter = ProductNetworkSorter.for_factor(path_graph(4), r=3)
+        keys = np.random.default_rng(0).integers(0, 100, size=sorter.network.num_nodes)
+        lattice, cost = sorter.sort_sequence(keys)
+        assert repro.is_snake_sorted(lattice)
+        assert cost.s2_calls == 4

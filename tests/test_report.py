@@ -1,0 +1,49 @@
+"""Tests for the regenerable report and its CLI command."""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.report import generate_report
+from repro.cli import main
+
+
+class TestGenerateReport:
+    def test_contains_all_sections(self):
+        text = generate_report(max_n_lemma1=2, max_r_hypercube=4)
+        assert "# Reproduction report" in text
+        assert "Lemma 1" in text
+        assert "Theorem 1" in text
+        assert "§5.1" in text
+        assert "§5.3" in text
+
+    def test_every_theorem1_row_exact(self):
+        text = generate_report(max_n_lemma1=2, max_r_hypercube=3)
+        assert "MISMATCH" not in text
+        assert "Every row matches Theorem 1 exactly." in text
+
+    def test_lemma1_tight(self):
+        text = generate_report(max_n_lemma1=3, max_r_hypercube=3)
+        assert "| 3 | 9 | 9 | tight |" in text
+
+    def test_seed_changes_keys_not_conclusions(self):
+        a = generate_report(seed=1, max_n_lemma1=2, max_r_hypercube=3)
+        b = generate_report(seed=2, max_n_lemma1=2, max_r_hypercube=3)
+        # round counts are input-independent (oblivious algorithm); only the
+        # random factor-graph row may differ between seeds
+        keep = lambda text: [ln for ln in text.splitlines() if "random(" not in ln]
+        assert keep(a) == keep(b)
+        assert "MISMATCH" not in a and "MISMATCH" not in b
+
+
+class TestCli:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduction report" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(["report", "--out", str(path)]) == 0
+        assert os.path.exists(path)
+        assert "Theorem 1" in path.read_text()

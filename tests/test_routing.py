@@ -1,0 +1,129 @@
+"""Tests for permutation routing in factor graphs (paper §4 Step 4, §5)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.library import (
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    k2,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+    star_graph,
+)
+from repro.machine.routing import (
+    exchange_rounds,
+    published_routing_bound,
+    route_partial_permutation,
+)
+
+
+def _random_permutation(n: int, rng: random.Random) -> dict[int, int]:
+    targets = list(range(n))
+    rng.shuffle(targets)
+    return dict(enumerate(targets))
+
+
+class TestRouter:
+    def test_identity_is_free(self):
+        res = route_partial_permutation(path_graph(5), {i: i for i in range(5)})
+        assert res.makespan == 0 and res.moves == 0
+
+    def test_single_packet_takes_distance(self):
+        g = path_graph(6)
+        res = route_partial_permutation(g, {0: 5})
+        assert res.makespan == 5
+        assert res.paths[0] == (0, 1, 2, 3, 4, 5)
+
+    def test_rejects_collisions(self):
+        with pytest.raises(ValueError):
+            route_partial_permutation(path_graph(4), {0: 2, 1: 2})
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            route_partial_permutation(path_graph(4), {0: 4})
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: path_graph(7),
+            lambda: cycle_graph(7),
+            lambda: star_graph(6),
+            lambda: complete_binary_tree(2),
+            lambda: petersen_graph(),
+            lambda: random_connected_graph(8, seed=3),
+        ],
+        ids=["path", "cycle", "star", "tree", "petersen", "random"],
+    )
+    def test_random_permutations_delivered(self, factory):
+        g = factory()
+        rng = random.Random(99)
+        for _ in range(10):
+            perm = _random_permutation(g.n, rng)
+            res = route_partial_permutation(g, perm)
+            # every packet's path starts at source and ends at destination
+            for src, dst in perm.items():
+                if src == dst:
+                    assert src not in res.paths or res.paths[src] == (src,)
+                else:
+                    assert res.paths[src][0] == src and res.paths[src][-1] == dst
+            assert res.makespan <= sum(max(0, len(p) - 1) for p in res.paths.values())
+
+    def test_reversal_on_path_meets_known_bound(self):
+        """Reversal is the heaviest path permutation; greedy store-and-forward
+        stays within a small factor of the N-1 optimum."""
+        g = path_graph(8)
+        res = route_partial_permutation(g, {u: 7 - u for u in range(8)})
+        assert res.makespan >= 7  # diameter lower bound
+        assert res.makespan <= 2 * 7  # sanity: within 2x of optimal
+
+
+class TestExchange:
+    def test_adjacent_pairs_one_round(self):
+        g = path_graph(6)
+        assert exchange_rounds(g, [(0, 1), (2, 3), (4, 5)]) == 1
+
+    def test_disjointness_enforced(self):
+        with pytest.raises(ValueError):
+            exchange_rounds(path_graph(4), [(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            exchange_rounds(path_graph(4), [(2, 2)])
+
+    def test_empty(self):
+        assert exchange_rounds(path_graph(4), []) == 0
+
+    def test_distant_pair_costs_routing(self):
+        g = star_graph(5)  # leaves 1..4 all at distance 2 via hub
+        rounds = exchange_rounds(g, [(1, 2)])
+        assert rounds >= 2  # two hops each way, shared hub
+
+    def test_consecutive_label_pairs_on_tree(self):
+        """The Step-4 pattern on a non-Hamiltonian factor routes in a small
+        constant number of rounds once labels follow the dilation-3 order."""
+        g = complete_binary_tree(2).canonically_labelled()
+        for parity in (0, 1):
+            pairs = [(d, d + 1) for d in range(parity, g.n - 1, 2)]
+            assert exchange_rounds(g, pairs) <= 6  # 2 * dilation
+
+
+class TestPublishedBounds:
+    def test_path(self):
+        assert published_routing_bound(path_graph(6)) == 5
+
+    def test_cycle(self):
+        assert published_routing_bound(cycle_graph(6)) == 3
+        assert published_routing_bound(cycle_graph(7)) == 3
+
+    def test_complete_and_k2(self):
+        assert published_routing_bound(complete_graph(5)) == 1
+        assert published_routing_bound(k2()) == 1
+
+    def test_unknown_topologies_return_none(self):
+        assert published_routing_bound(petersen_graph()) is None
+        assert published_routing_bound(complete_binary_tree(2)) is None
+        assert published_routing_bound(star_graph(5)) is None

@@ -1,0 +1,114 @@
+"""Tests for snake-order lattice/sequence plumbing (paper §2, Def. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orders.gray import gray_rank, gray_unrank
+from repro.orders.snake import (
+    block_view_dims12,
+    is_snake_sorted,
+    label_of_snake_rank,
+    lattice_shape,
+    lattice_to_sequence,
+    parity_lattice,
+    sequence_to_lattice,
+    snake_positions_of_block,
+    snake_rank_of_label,
+)
+
+nr_params = st.tuples(st.integers(2, 4), st.integers(1, 4))
+
+
+class TestConversions:
+    @given(nr_params, st.integers(0, 2**32 - 1))
+    @settings(max_examples=40)
+    def test_roundtrip(self, params, seed):
+        n, r = params
+        rng = np.random.default_rng(seed)
+        keys = rng.integers(0, 1000, size=n**r)
+        lat = sequence_to_lattice(keys, n, r)
+        assert np.array_equal(lattice_to_sequence(lat), keys)
+
+    @given(nr_params)
+    @settings(max_examples=40)
+    def test_sorted_sequence_placement(self, params):
+        """sequence_to_lattice puts sorted key p at the node of rank p."""
+        n, r = params
+        lat = sequence_to_lattice(np.arange(n**r), n, r)
+        for idx in np.ndindex(*lat.shape):
+            assert lat[idx] == gray_rank(idx, n)
+        assert is_snake_sorted(lat)
+
+    def test_is_snake_sorted_negative(self):
+        lat = sequence_to_lattice(np.arange(9), 3, 2)
+        lat[0, 0], lat[2, 2] = lat[2, 2], lat[0, 0]
+        assert not is_snake_sorted(lat)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            lattice_to_sequence(np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            sequence_to_lattice(np.zeros(8), 3, 2)
+        with pytest.raises(ValueError):
+            sequence_to_lattice(np.zeros((2, 4)), 2, 3)
+        with pytest.raises(ValueError):
+            lattice_shape(1, 2)
+
+    def test_rank_aliases(self):
+        assert snake_rank_of_label((1, 0), 3) == gray_rank((1, 0), 3)
+        assert label_of_snake_rank(5, 3, 2) == gray_unrank(5, 3, 2)
+
+
+class TestBlockViews:
+    @given(st.tuples(st.integers(2, 4), st.integers(2, 4)))
+    @settings(max_examples=30)
+    def test_block_view_is_view(self, params):
+        n, r = params
+        lat = sequence_to_lattice(np.arange(n**r), n, r)
+        blocks = block_view_dims12(lat)
+        assert blocks.shape == (n ** (r - 2), n, n)
+        blocks[0, 0, 0] = -1
+        assert lat.ravel()[0] == -1  # in-place writes propagate
+
+    @given(st.tuples(st.integers(2, 4), st.integers(2, 4)))
+    @settings(max_examples=30)
+    def test_blocks_occupy_contiguous_snake_windows(self, params):
+        """Block of group rank z holds exactly snake positions
+        [z*N^2, (z+1)*N^2) — the contiguity Step 4 relies on."""
+        n, r = params
+        lat = sequence_to_lattice(np.arange(n**r), n, r)
+        blocks = block_view_dims12(lat)
+        seen_windows = set()
+        for g in range(blocks.shape[0]):
+            vals = sorted(int(v) for v in blocks[g].ravel())
+            lo = vals[0]
+            assert vals == list(range(lo, lo + n * n))
+            assert lo % (n * n) == 0
+            seen_windows.add(lo // (n * n))
+        assert seen_windows == set(range(n ** (r - 2)))
+
+    def test_snake_positions_of_block(self):
+        assert snake_positions_of_block(3, 3, 0) == (0, 9)
+        assert snake_positions_of_block(3, 3, 2) == (18, 27)
+        with pytest.raises(ValueError):
+            snake_positions_of_block(3, 3, 3)
+        with pytest.raises(ValueError):
+            snake_positions_of_block(3, 1, 0)
+
+    def test_block_view_requires_2d(self):
+        with pytest.raises(ValueError):
+            block_view_dims12(np.zeros(3))
+
+
+class TestParityLattice:
+    @given(nr_params)
+    @settings(max_examples=30)
+    def test_matches_rank_parity(self, params):
+        n, r = params
+        par = parity_lattice(n, r)
+        for idx in np.ndindex(*par.shape):
+            assert par[idx] == gray_rank(idx, n) % 2

@@ -1,0 +1,112 @@
+"""Tests for the table machinery and the experiment CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import (
+    format_markdown_table,
+    ledger_breakdown,
+    measure_sort,
+    render_table,
+    section5_rows,
+)
+from repro.cli import build_parser, main
+from repro.graphs import cycle_graph, k2, path_graph
+from repro.machine.metrics import CostLedger
+
+
+class TestMeasureSort:
+    def test_row_matches(self):
+        row = measure_sort(path_graph(3), 3)
+        assert row.sorted_ok
+        assert row.matches_theorem1
+        assert row.prediction.factor_name == "path(3)"
+
+    def test_section5_rows(self):
+        rows = section5_rows([(path_graph(3), 2), (k2(), 3)])
+        assert len(rows) == 2
+        assert all(r.sorted_ok and r.matches_theorem1 for r in rows)
+
+
+class TestRendering:
+    def test_render_table_contains_headers_and_rows(self):
+        rows = section5_rows([(cycle_graph(4), 3)])
+        text = render_table(rows)
+        assert "network" in text and "cycle(4)" in text and "measured" in text
+
+    def test_markdown_table(self):
+        md = format_markdown_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_ledger_breakdown(self):
+        ledger = CostLedger()
+        ledger.charge_s2(5, detail="x")
+        ledger.charge_routing(2, detail="y")
+        text = ledger_breakdown(ledger)
+        assert "S2" in text and "x" in text and "y" in text
+
+
+class TestCostLedger:
+    def test_absorb(self):
+        a, b = CostLedger(), CostLedger()
+        a.charge_s2(3)
+        b.charge_routing(4)
+        a.absorb(b)
+        assert a.total_rounds == 7
+        assert a.s2_calls == 1 and a.routing_calls == 1
+
+    def test_summary(self):
+        ledger = CostLedger()
+        ledger.charge_s2(3, comparisons=10)
+        s = ledger.summary()
+        assert s["total_rounds"] == 3 and s["comparisons"] == 10
+
+    def test_negative_rejected(self):
+        ledger = CostLedger()
+        with pytest.raises(ValueError):
+            ledger.charge_s2(-1)
+        with pytest.raises(ValueError):
+            ledger.charge_routing(-1)
+
+    def test_keep_log_false_skips_records(self):
+        ledger = CostLedger(keep_log=False)
+        ledger.charge_s2(1)
+        assert ledger.records == []
+
+
+class TestCli:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for cmd in ("section5", "hypercube", "dirty-area", "gray", "worked-example"):
+            assert cmd in text
+
+    def test_gray_command(self, capsys):
+        assert main(["gray", "--n", "3", "--r", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "00 01 02 12 11 10 20 21 22" in out
+
+    def test_dirty_area_command(self, capsys):
+        assert main(["dirty-area", "--max-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "bound" in out
+
+    def test_hypercube_command(self, capsys):
+        assert main(["hypercube", "--max-r", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "batcher" in out
+
+    def test_worked_example_command(self, capsys):
+        assert main(["worked-example"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 12" in out
+        assert "0 4 4" in out  # the paper's A_0 array
+
+    def test_section5_command(self, capsys):
+        assert main(["section5", "--n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "petersen" in out and "K2" in out

@@ -1,0 +1,106 @@
+"""Tests for the plain-text visualisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.network_builder import multiway_sort_network
+from repro.graphs import complete_binary_tree, path_graph, petersen_graph
+from repro.viz import (
+    render_comparator_network,
+    render_factor_graph,
+    render_lattice,
+    render_merge_trace,
+    render_snake_path,
+    snake_label_grid,
+)
+
+
+class TestRenderLattice:
+    def test_1d(self):
+        assert render_lattice(np.array([3, 1, 2])) == "3 1 2"
+
+    def test_2d_alignment(self):
+        out = render_lattice(np.array([[1, 22], [333, 4]]))
+        lines = out.splitlines()
+        assert lines[0] == "  1  22"
+        assert lines[1] == "333   4"
+
+    def test_3d_has_captions(self):
+        lat = np.arange(27).reshape(3, 3, 3)
+        out = render_lattice(lat)
+        assert "[0]PG_2:" in out and "[2]PG_2:" in out
+        assert out.count("PG_2:") == 3
+
+    def test_4d_prefix_captions(self):
+        lat = np.arange(16).reshape(2, 2, 2, 2)
+        out = render_lattice(lat)
+        assert "[0,1]PG_2:" in out and "[1,0]PG_2:" in out
+
+
+class TestSnakePath:
+    def test_three_by_three(self):
+        out = render_snake_path(3)
+        lines = out.splitlines()
+        assert lines[0].startswith("> 0 -> 1 -> 2")
+        assert lines[1].startswith("< 5 <- 4 <- 3")
+        assert lines[2].startswith("> 6 -> 7 -> 8")
+        assert lines[2].endswith(".")
+
+    def test_even_n(self):
+        out = render_snake_path(2)
+        assert "0" in out and "3" in out
+
+
+class TestMergeTrace:
+    def test_captions_applied(self):
+        states = {"evt": np.arange(9).reshape(3, 3)}
+        out = render_merge_trace(states, captions={"evt": "Fig. X"})
+        assert "--- Fig. X ---" in out
+        out2 = render_merge_trace(states)
+        assert "--- evt ---" in out2
+
+
+class TestComparatorDiagram:
+    def test_single_comparator(self):
+        out = render_comparator_network([[(0, 2)]], 3)
+        lines = out.splitlines()
+        assert lines[0].count("o") == 1
+        assert lines[1].count("|") == 1
+        assert lines[2].count("o") == 1
+
+    def test_overlapping_comparators_split_columns(self):
+        # (0,2) and (1,3) overlap visually -> need two columns
+        out = render_comparator_network([[(0, 2), (1, 3)]], 4)
+        assert all(len(line) == len(out.splitlines()[0]) for line in out.splitlines())
+        # both comparators rendered
+        assert out.count("o") == 4
+
+    def test_real_network_renders(self):
+        net = multiway_sort_network(2, 2)
+        out = render_comparator_network(net.layers, net.width)
+        assert len(out.splitlines()) == 4
+
+
+class TestFactorGraph:
+    def test_hamiltonian_annotation(self):
+        out = render_factor_graph(path_graph(4))
+        assert "labels follow a Hamiltonian path" in out
+
+    def test_non_hamiltonian_annotation(self):
+        out = render_factor_graph(complete_binary_tree(2))
+        assert "dilation-" in out
+
+    def test_path_exists_but_unlabelled(self):
+        out = render_factor_graph(petersen_graph())
+        assert "labels do not follow" in out
+
+    def test_adjacency_lines(self):
+        out = render_factor_graph(path_graph(3))
+        assert "  1: 0 2" in out
+
+
+class TestSnakeLabelGrid:
+    def test_matches_gray_order(self):
+        out = snake_label_grid(3, 2)
+        assert out.splitlines() == ["00 01 02", "12 11 10", "20 21 22"]

@@ -1,0 +1,121 @@
+"""Reproduction of the paper's worked example (Figs. 12-15, N = 3, k = 3).
+
+The paper runs its merge on three concrete sorted sequences and prints the
+intermediate states; these tests assert our implementation passes through
+exactly the published states, including the two specific key exchanges
+called out in the Fig. 15 caption text.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lattice_sort import ProductNetworkSorter
+from repro.core.multiway_merge import multiway_merge
+from repro.graphs import path_graph
+from repro.orders import lattice_to_sequence, sequence_to_lattice
+
+A0 = [0, 4, 4, 5, 5, 7, 8, 8, 9]
+A1 = [1, 4, 5, 5, 5, 6, 7, 7, 8]
+A2 = [0, 0, 1, 1, 1, 2, 3, 4, 9]
+
+
+@pytest.fixture
+def input_lattice():
+    """The Fig. 12 initial state: A_u snake-ordered on [u]PG^3_2."""
+    return np.stack([sequence_to_lattice(np.array(a), 3, 2) for a in (A0, A1, A2)])
+
+
+@pytest.fixture
+def traced_run(input_lattice):
+    sorter = ProductNetworkSorter.for_factor(path_graph(3), 3)
+    states: dict[str, np.ndarray] = {}
+    out, ledger = sorter.merge_sorted_subgraphs(
+        input_lattice, trace=lambda e, lat: states.update({e: lat})
+    )
+    return out, ledger, states
+
+
+class TestFig12InitialLayout:
+    def test_arrays_match_figure(self, input_lattice):
+        """Fig. 12 prints A_0 as rows (0 4 4 / 7 5 5 / 8 8 9), etc."""
+        assert input_lattice[0].tolist() == [[0, 4, 4], [7, 5, 5], [8, 8, 9]]
+        assert input_lattice[1].tolist() == [[1, 4, 5], [6, 5, 5], [7, 7, 8]]
+        assert input_lattice[2].tolist() == [[0, 0, 1], [2, 1, 1], [3, 4, 9]]
+
+    def test_step1_subsequences(self):
+        """Fig. 12 bottom: reading column v of A_u's array gives B_{u,v}."""
+        from repro.core.multiway_merge import distribute
+
+        assert distribute(A0, 3) == [[0, 7, 8], [4, 5, 8], [4, 5, 9]]
+        assert distribute(A1, 3) == [[1, 6, 7], [4, 5, 7], [5, 5, 8]]
+        assert distribute(A2, 3) == [[0, 2, 3], [0, 1, 4], [1, 1, 9]]
+
+
+class TestFig13Step2:
+    def test_columns_merged_in_place(self, traced_run):
+        """After Step 2, every [v]PG^1_2 holds C_v sorted in snake order
+        (Fig. 13b), built from the B_{u,v} subsequences of the three inputs."""
+        _, _, states = traced_run
+        from repro.core.multiway_merge import distribute
+
+        lat = states["merge3_after_step2"]
+        for v in range(3):
+            expected = sorted(distribute(A0, 3)[v] + distribute(A1, 3)[v] + distribute(A2, 3)[v])
+            seq = list(lattice_to_sequence(lat[:, :, v]))
+            assert seq == expected
+
+    def test_step2_data_matches_sequence_merge(self, traced_run):
+        """Column contents equal the §3.1 trace's C_v sequences."""
+        _, _, states = traced_run
+        captured = {}
+        multiway_merge([A0, A1, A2], trace=lambda e, p: captured.update({e: p}))
+        lat = states["merge3_after_step2"]
+        for v in range(3):
+            assert list(lattice_to_sequence(lat[:, :, v])) == captured["step2_C"][v]
+
+
+class TestFig15Step4:
+    def test_fig15a_block_sorts(self, traced_run):
+        """Fig. 15a: blocks sorted in alternating directions; the odd block
+        [1]PG_2 ends with ... 4 3 2 in its bottom row."""
+        _, _, states = traced_run
+        lat = states["merge3_step4_sorted"]
+        assert lat[0].tolist() == [[0, 0, 0], [1, 1, 1], [1, 4, 4]]
+        assert lat[1].tolist() == [[6, 5, 5], [4, 5, 5], [4, 3, 2]]
+        assert lat[2].tolist() == [[5, 7, 7], [8, 8, 7], [8, 9, 9]]
+
+    def test_fig15b_first_transposition(self, traced_run):
+        """Fig. 15b caption: 'The keys 3 and 2 in nodes (1,2,1) and (1,2,2)
+        have been exchanged with two keys both with value four in nodes
+        (0,2,1) and (0,2,2).'"""
+        _, _, states = traced_run
+        before = states["merge3_step4_sorted"]
+        after = states["merge3_step4_transposition0"]
+        assert before[1, 2, 1] == 3 and before[1, 2, 2] == 2
+        assert before[0, 2, 1] == 4 and before[0, 2, 2] == 4
+        assert after[0, 2, 1] == 3 and after[0, 2, 2] == 2
+        assert after[1, 2, 1] == 4 and after[1, 2, 2] == 4
+
+    def test_fig15c_second_transposition(self, traced_run):
+        """Fig. 15c caption: 'the key 5 in node (2,0,0) has been exchanged
+        with the key 6 in node (1,0,0).'"""
+        _, _, states = traced_run
+        before = states["merge3_step4_transposition0"]
+        after = states["merge3_step4_transposition1"]
+        assert before[2, 0, 0] == 5 and before[1, 0, 0] == 6
+        assert after[2, 0, 0] == 6 and after[1, 0, 0] == 5
+
+    def test_fig15d_final_sorted(self, traced_run):
+        out, _, _ = traced_run
+        expected = sorted(A0 + A1 + A2)
+        assert list(lattice_to_sequence(out)) == expected
+
+
+class TestCost:
+    def test_merge_cost_is_m3(self, traced_run):
+        """Lemma 3 at k = 3: M_3 = 2(S_2 + R) + S_2 = 3 S_2 + 2 R."""
+        _, ledger, _ = traced_run
+        assert ledger.s2_calls == 3
+        assert ledger.routing_calls == 2
