@@ -7,14 +7,20 @@ Reproduces the paper's evaluation from the shell:
   mesh-connected trees, random connected factors);
 * ``hypercube`` — §5.3 sweep with the Batcher yardstick;
 * ``dirty-area`` — Lemma 1's ``<= N**2`` bound, measured;
+* ``trace`` — run one sort under the telemetry layer and export the phase
+  span tree (Chrome trace-event JSON / JSONL / text summary);
 * ``worked-example`` — the Figs. 12-15 walkthrough (delegates to the
   example script's logic);
 * ``gray`` — print Gray/snake orders for small products (Figs. 3-5).
+
+``section5`` and ``dirty-area`` take ``--json`` for machine-readable rows,
+so benchmark trajectories can be diffed across PRs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -23,6 +29,7 @@ __all__ = ["main", "build_parser"]
 
 
 def _cmd_section5(args: argparse.Namespace) -> int:
+    from .analysis.complexity import sort_routing_calls, sort_s2_calls
     from .analysis.tables import render_table, section5_rows
     from .graphs import (
         complete_binary_tree,
@@ -46,7 +53,29 @@ def _cmd_section5(args: argparse.Namespace) -> int:
         (random_connected_graph(args.n, seed=args.seed), 3),
     ]
     rows = section5_rows(instances, seed=args.seed)
-    print(render_table(rows))
+    if args.json:
+        records = [
+            {
+                "factor": row.prediction.factor_name,
+                "n": row.prediction.n,
+                "r": row.prediction.r,
+                "s2_model": row.prediction.s2_model,
+                "s2_rounds": row.prediction.s2_rounds,
+                "routing_rounds": row.prediction.routing_rounds,
+                "predicted_rounds": row.prediction.total_rounds,
+                "measured_rounds": row.measured_rounds,
+                "predicted_s2_calls": sort_s2_calls(row.prediction.r),
+                "measured_s2_calls": row.measured_s2_calls,
+                "predicted_routing_calls": sort_routing_calls(row.prediction.r),
+                "measured_routing_calls": row.measured_routing_calls,
+                "sorted_ok": row.sorted_ok,
+                "matches_theorem1": row.matches_theorem1,
+            }
+            for row in rows
+        ]
+        print(json.dumps(records, indent=2))
+    else:
+        print(render_table(rows))
     return 0 if all(r.sorted_ok and r.matches_theorem1 for r in rows) else 1
 
 
@@ -79,16 +108,93 @@ def _cmd_dirty_area(args: argparse.Namespace) -> int:
     from .core.multiway_merge import multiway_merge
     from .core.verification import DirtyAreaProbe, zero_one_merge_inputs
 
-    print(f"{'N':>3} {'m':>5} {'bound N^2':>9} {'max dirty seen':>14}")
-    ok = True
+    records = []
     for n in range(2, args.max_n + 1):
         m = n * n
         probe = DirtyAreaProbe()
         for seqs in zero_one_merge_inputs(n, m):
             multiway_merge(seqs, trace=probe)
-        print(f"{n:>3} {m:>5} {n * n:>9} {probe.max_dirty:>14}")
-        ok &= probe.max_dirty <= n * n
-    return 0 if ok else 1
+        records.append(
+            {"n": n, "m": m, "bound": n * n, "max_dirty": probe.max_dirty,
+             "ok": probe.max_dirty <= n * n}
+        )
+    if args.json:
+        print(json.dumps(records, indent=2))
+    else:
+        print(f"{'N':>3} {'m':>5} {'bound N^2':>9} {'max dirty seen':>14}")
+        for rec in records:
+            print(f"{rec['n']:>3} {rec['m']:>5} {rec['bound']:>9} {rec['max_dirty']:>14}")
+    return 0 if all(rec["ok"] for rec in records) else 1
+
+
+def _trace_factor(name: str, n: int):
+    """Build the requested factor graph for the ``trace`` subcommand."""
+    from . import graphs
+
+    if name == "path":
+        return graphs.path_graph(n)
+    if name == "cycle":
+        return graphs.cycle_graph(max(3, n))
+    if name == "k2":
+        return graphs.k2()
+    if name == "complete":
+        return graphs.complete_graph(n)
+    if name == "tree":
+        return graphs.complete_binary_tree(max(1, n))
+    if name == "petersen":
+        return graphs.petersen_graph().canonically_labelled()
+    if name == "debruijn":
+        return graphs.de_bruijn_graph(max(2, n))
+    raise ValueError(f"unknown factor {name!r}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .core.lattice_sort import ProductNetworkSorter
+    from .core.machine_sort import MachineSorter
+    from .observability import (
+        MachineTimeline,
+        Tracer,
+        chrome_trace_json,
+        phase_summary,
+        spans_to_jsonl,
+        timeline_to_jsonl,
+    )
+    from .orders import lattice_to_sequence
+
+    factor = _trace_factor(args.factor, args.n)
+    tracer = Tracer()
+    rng = np.random.default_rng(args.seed)
+    timeline = None
+    if args.backend == "machine":
+        sorter = MachineSorter.for_factor(factor, args.r)
+        timeline = MachineTimeline(sorter.network, bus=tracer.bus)
+        keys = rng.integers(0, 2**31, size=sorter.network.num_nodes)
+        machine, ledger = sorter.sort(keys, tracer=tracer, timeline=timeline)
+        seq = lattice_to_sequence(machine.lattice())
+    else:
+        sorter = ProductNetworkSorter.for_factor(factor, args.r)
+        keys = rng.integers(0, 2**31, size=sorter.network.num_nodes)
+        lattice, ledger = sorter.sort_sequence(keys, tracer=tracer)
+        seq = lattice_to_sequence(lattice)
+    if not bool(np.all(np.asarray(seq)[:-1] <= np.asarray(seq)[1:])):
+        print("UNSORTED OUTPUT — trace not exported", file=sys.stderr)
+        return 1
+
+    if args.export == "chrome":
+        text = chrome_trace_json(tracer, timeline=timeline)
+    elif args.export == "jsonl":
+        text = spans_to_jsonl(tracer)
+        if timeline is not None:
+            text += timeline_to_jsonl(timeline)
+    else:
+        text = phase_summary(tracer, timeline=timeline)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text if text.endswith("\n") else text + "\n")
+    return 0
 
 
 def _cmd_gray(args: argparse.Namespace) -> int:
@@ -157,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("section5", help="predicted-vs-measured table across §5 networks")
     p.add_argument("--n", type=int, default=4, help="factor size for size-parametric factors")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="machine-readable rows (for cross-PR diffs)")
     p.set_defaults(func=_cmd_section5)
 
     p = sub.add_parser("hypercube", help="§5.3 sweep with the Batcher yardstick")
@@ -166,7 +273,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("dirty-area", help="Lemma 1: measured dirty areas vs the N^2 bound")
     p.add_argument("--max-n", type=int, default=4)
+    p.add_argument("--json", action="store_true", help="machine-readable rows (for cross-PR diffs)")
     p.set_defaults(func=_cmd_dirty_area)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one sort under the telemetry layer and export the span tree",
+    )
+    p.add_argument(
+        "--factor",
+        choices=("path", "cycle", "k2", "complete", "tree", "petersen", "debruijn"),
+        default="path",
+        help="factor graph family",
+    )
+    p.add_argument("--n", type=int, default=3, help="factor size (where parametric)")
+    p.add_argument("--r", type=int, default=3, help="product dimensions")
+    p.add_argument(
+        "--backend",
+        choices=("lattice", "machine"),
+        default="machine",
+        help="lattice = modelled costs; machine = measured rounds + super-step timeline",
+    )
+    p.add_argument(
+        "--export",
+        choices=("summary", "chrome", "jsonl"),
+        default="summary",
+        help="summary = text table; chrome = Perfetto/chrome://tracing JSON; jsonl = event log",
+    )
+    p.add_argument("--out", type=str, default=None, help="write to a file instead of stdout")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("gray", help="print Gray/snake orders (Figs. 3-5)")
     p.add_argument("--n", type=int, default=3)

@@ -33,6 +33,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..machine.metrics import CostLedger
+from ..observability import Tracer, coerce_tracer
 from ..orders.snake import lattice_to_sequence
 from .lattice_sort import ProductNetworkSorter, SortOutcome, Trace
 
@@ -62,7 +63,12 @@ class AdaptiveProductNetworkSorter(ProductNetworkSorter):
         self.steps4_executed = 0
 
     # ------------------------------------------------------------------
-    def sort_lattice(self, lattice: np.ndarray, trace: Trace = None) -> SortOutcome:
+    def sort_lattice(
+        self, lattice: np.ndarray, trace: Trace = None, tracer: Tracer | None = None
+    ) -> SortOutcome:
+        # the adaptive variant may skip Step 4s, so its span tree does NOT
+        # reproduce Theorem 1's counts; tagged with its own backend name
+        tracer = coerce_tracer(tracer)
         a = np.array(lattice, copy=True)
         if a.shape != self.network.shape:
             raise ValueError(f"lattice shape {a.shape} != network shape {self.network.shape}")
@@ -71,21 +77,30 @@ class AdaptiveProductNetworkSorter(ProductNetworkSorter):
         ledger = CostLedger(keep_log=self.keep_log)
         n, r = self.n, self.r
 
-        blocks = a.reshape(-1, n, n)
-        for g in range(blocks.shape[0]):
-            self._sort2_data(blocks[g], descending=False)
-        ledger.charge_s2(self.sorter2d.rounds(n), detail="initial PG2 block sorts")
-        if trace is not None:
-            trace("initial_sorted", a.copy())
-
-        for j in range(3, r + 1):
-            sub = a.reshape((-1,) + (n,) * j)
-            self._merge_batch([sub[s] for s in range(sub.shape[0])], ledger, trace)
+        with tracer.span(
+            "sort", backend="lattice-adaptive", factor=self.network.factor.name, n=n, r=r
+        ):
+            with tracer.span("initial-block-sorts", kind="s2") as sp:
+                blocks = a.reshape(-1, n, n)
+                for g in range(blocks.shape[0]):
+                    self._sort2_data(blocks[g], descending=False)
+                ledger.charge_s2(self.sorter2d.rounds(n), detail="initial PG2 block sorts")
+                if not tracer.disabled:
+                    sp.set(rounds=self.sorter2d.rounds(n))
             if trace is not None:
-                trace(f"after_merge_round_{j}", a.copy())
+                trace("initial_sorted", a.copy())
+
+            for j in range(3, r + 1):
+                sub = a.reshape((-1,) + (n,) * j)
+                with tracer.span("merge-round", dim=j, groups=sub.shape[0]):
+                    self._merge_batch([sub[s] for s in range(sub.shape[0])], ledger, trace)
+                if trace is not None:
+                    trace(f"after_merge_round_{j}", a.copy())
         return SortOutcome(a, ledger)
 
-    def merge_sorted_subgraphs(self, lattice: np.ndarray, trace: Trace = None) -> SortOutcome:
+    def merge_sorted_subgraphs(
+        self, lattice: np.ndarray, trace: Trace = None, tracer: Tracer | None = None
+    ) -> SortOutcome:
         self.steps4_skipped = 0
         self.steps4_executed = 0
         a = np.array(lattice, copy=True)

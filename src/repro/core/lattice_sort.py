@@ -38,6 +38,7 @@ import numpy as np
 from ..graphs.base import FactorGraph
 from ..graphs.product import ProductGraph
 from ..machine.metrics import CostLedger
+from ..observability import NULL_TRACER, Tracer, coerce_tracer
 from ..orders.gray import rank_lattice
 from ..orders.snake import lattice_to_sequence, sequence_to_lattice
 from ..sorters2d.analytic import sorter_for_factor
@@ -129,52 +130,68 @@ class ProductNetworkSorter:
         """Number of dimensions."""
         return self.network.r
 
-    def sort_lattice(self, lattice: np.ndarray, trace: Trace = None) -> SortOutcome:
+    def sort_lattice(
+        self, lattice: np.ndarray, trace: Trace = None, tracer: Tracer | None = None
+    ) -> SortOutcome:
         """Sort a key lattice into snake order (§3.3 driver).
 
         Returns a fresh sorted lattice plus the cost ledger; the input is
-        not modified.
+        not modified.  When a ``tracer`` is given, the run is recorded as a
+        span tree following the *parallel-time* accounting (spans wrap
+        exactly the charged phases), so a full sort contains ``(r-1)**2``
+        spans of kind ``s2`` and ``(r-1)(r-2)`` of kind ``routing`` —
+        Theorem 1 read off telemetry.
         """
         a = np.array(lattice, copy=True)
         if a.shape != self.network.shape:
             raise ValueError(f"lattice shape {a.shape} != network shape {self.network.shape}")
         ledger = CostLedger(keep_log=self.keep_log)
+        tracer = coerce_tracer(tracer)
         n, r = self.n, self.r
 
-        # initial round: sort every dimension-{1,2} PG_2 block, ascending in
-        # its local snake order; all blocks in parallel -> one S_2 charge.
-        blocks = a.reshape(-1, n, n)
-        for g in range(blocks.shape[0]):
-            self._sort2_data(blocks[g], descending=False)
-        ledger.charge_s2(self.sorter2d.rounds(n), detail="initial PG2 block sorts")
-        if trace is not None:
-            trace("initial_sorted", a.copy())
-
-        # merge rounds j = 3..r: one multiway merge inside every PG_j
-        # subgraph; subgraphs run in parallel -> charge the first only.
-        for j in range(3, r + 1):
-            sub = a.reshape((-1,) + (n,) * j)
-            for s in range(sub.shape[0]):
-                self._merge(
-                    sub[s],
-                    ledger,
-                    charge=(s == 0),
-                    trace=trace if s == 0 else None,
-                )
+        with tracer.span(
+            "sort", backend="lattice", factor=self.network.factor.name, n=n, r=r, keys=a.size
+        ):
+            # initial round: sort every dimension-{1,2} PG_2 block, ascending
+            # in its local snake order; all blocks in parallel -> one S_2.
+            with tracer.span("initial-block-sorts", kind="s2", dim=2) as sp:
+                blocks = a.reshape(-1, n, n)
+                for g in range(blocks.shape[0]):
+                    self._sort2_data(blocks[g], descending=False)
+                ledger.charge_s2(self.sorter2d.rounds(n), detail="initial PG2 block sorts")
+                if not tracer.disabled:
+                    sp.set(rounds=self.sorter2d.rounds(n), blocks=blocks.shape[0])
             if trace is not None:
-                trace(f"after_merge_round_{j}", a.copy())
+                trace("initial_sorted", a.copy())
+
+            # merge rounds j = 3..r: one multiway merge inside every PG_j
+            # subgraph; subgraphs run in parallel -> charge the first only.
+            for j in range(3, r + 1):
+                sub = a.reshape((-1,) + (n,) * j)
+                for s in range(sub.shape[0]):
+                    self._merge(
+                        sub[s],
+                        ledger,
+                        charge=(s == 0),
+                        trace=trace if s == 0 else None,
+                        tracer=tracer if s == 0 else NULL_TRACER,
+                    )
+                if trace is not None:
+                    trace(f"after_merge_round_{j}", a.copy())
         return SortOutcome(a, ledger)
 
-    def sort_sequence(self, keys, trace: Trace = None) -> SortOutcome:
+    def sort_sequence(self, keys, trace: Trace = None, tracer: Tracer | None = None) -> SortOutcome:
         """Sort a flat key array given in node (flat-index) order."""
         keys = np.asarray(keys)
         if keys.ndim != 1 or keys.size != self.network.num_nodes:
             raise ValueError(
                 f"expected {self.network.num_nodes} keys, got shape {keys.shape}"
             )
-        return self.sort_lattice(keys.reshape(self.network.shape), trace=trace)
+        return self.sort_lattice(keys.reshape(self.network.shape), trace=trace, tracer=tracer)
 
-    def merge_sorted_subgraphs(self, lattice: np.ndarray, trace: Trace = None) -> SortOutcome:
+    def merge_sorted_subgraphs(
+        self, lattice: np.ndarray, trace: Trace = None, tracer: Tracer | None = None
+    ) -> SortOutcome:
         """Run one top-level multiway merge (Lemma 3's ``M_r``).
 
         Requires every ``[u]PG^r_{r-1}`` slice (``lattice[u]``) to already be
@@ -189,7 +206,7 @@ class ProductNetworkSorter:
             if np.any(seq[:-1] > seq[1:]):
                 raise ValueError(f"input subgraph [{u}]PG_{self.r - 1} is not snake-sorted")
         ledger = CostLedger(keep_log=self.keep_log)
-        self._merge(a, ledger, charge=True, trace=trace)
+        self._merge(a, ledger, charge=True, trace=trace, tracer=coerce_tracer(tracer))
         return SortOutcome(a, ledger)
 
     def sorted_reference(self, lattice: np.ndarray) -> np.ndarray:
@@ -199,31 +216,68 @@ class ProductNetworkSorter:
     # ------------------------------------------------------------------
     # the merge (§3.1 steps on the lattice)
     # ------------------------------------------------------------------
-    def _merge(self, a: np.ndarray, ledger: CostLedger, charge: bool, trace: Trace) -> None:
+    def _merge(
+        self,
+        a: np.ndarray,
+        ledger: CostLedger,
+        charge: bool,
+        trace: Trace,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
         """Merge the ``N`` snake-sorted ``[u]PG_{k-1}`` slices of ``a``."""
         k = a.ndim
         n = self.n
         if k == 2:
             # base case: one PG_2 sort (M_2 = S_2)
-            self._sort2_data(a, descending=False)
+            if tracer.disabled:
+                self._sort2_data(a, descending=False)
+            else:
+                with tracer.span(
+                    "merge-base", kind="s2", dim=2, rounds=self.sorter2d.rounds(n)
+                ):
+                    self._sort2_data(a, descending=False)
             if charge:
                 ledger.charge_s2(self.sorter2d.rounds(n), detail="merge base (k=2) PG2 sort")
             return
 
-        # Step 1: free — B_{u,v} already lies snake-sorted on [u,v]PG^{k,1}.
-        # Step 2: recursively merge column v inside [v]PG^1_{k-1}; the N
-        # subgraphs are disjoint and run in parallel -> charge one.
-        for v in range(n):
-            self._merge(a[..., v], ledger, charge=charge and v == 0, trace=None)
-        if trace is not None:
-            trace(f"merge{k}_after_step2", a.copy())
-        # Step 3: free — D is the snake reading of the whole lattice.
-        if trace is not None:
-            trace(f"merge{k}_after_step3", a.copy())
+        with tracer.span("merge", dim=k):
+            # Step 1: free — B_{u,v} already snake-sorted on [u,v]PG^{k,1}.
+            with tracer.span("distribute", kind="free", dim=k, rounds=0):
+                pass
+            # Step 2: recursively merge column v inside [v]PG^1_{k-1}; the N
+            # subgraphs are disjoint and run in parallel -> charge one.
+            with tracer.span("column-merges", dim=k):
+                for v in range(n):
+                    self._merge(
+                        a[..., v],
+                        ledger,
+                        charge=charge and v == 0,
+                        trace=None,
+                        tracer=tracer if v == 0 else NULL_TRACER,
+                    )
+            if trace is not None:
+                trace(f"merge{k}_after_step2", a.copy())
+            # Step 3: free — D is the snake reading of the whole lattice.
+            with tracer.span("interleave", kind="free", dim=k, rounds=0):
+                pass
+            if trace is not None:
+                trace(f"merge{k}_after_step3", a.copy())
 
-        self._step4(a, ledger, charge, trace)
+            # pass the tracer only when tracing so subclasses overriding the
+            # pre-tracer ``_step4(a, ledger, charge, trace)`` keep working
+            if tracer.disabled:
+                self._step4(a, ledger, charge, trace)
+            else:
+                self._step4(a, ledger, charge, trace, tracer)
 
-    def _step4(self, a: np.ndarray, ledger: CostLedger, charge: bool, trace: Trace) -> None:
+    def _step4(
+        self,
+        a: np.ndarray,
+        ledger: CostLedger,
+        charge: bool,
+        trace: Trace,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
         """Clean-up: alternating block sorts, two block transpositions,
         alternating block sorts (2 S_2 + 2 R).
 
@@ -234,7 +288,7 @@ class ProductNetworkSorter:
         sub-step.
         """
         if trace is None:
-            self._step4_vectorised(a, ledger, charge)
+            self._step4_vectorised(a, ledger, charge, tracer)
             return
         k = a.ndim
         n = self.n
@@ -251,42 +305,51 @@ class ProductNetworkSorter:
         order = np.argsort(granks)  # order[z] = lex index of the block of group rank z
         parities = granks % 2
 
-        def sort_blocks(detail: str) -> None:
-            for g in range(nblocks):
-                self._sort2_data(blocks[g], descending=bool(parities[g]))
+        def sort_blocks(detail: str, span_name: str) -> None:
+            with tracer.span(span_name, kind="s2", dim=k) as sp:
+                for g in range(nblocks):
+                    self._sort2_data(blocks[g], descending=bool(parities[g]))
+                if not tracer.disabled:
+                    sp.set(rounds=self.sorter2d.rounds(n), blocks=nblocks)
             if charge:
                 ledger.charge_s2(self.sorter2d.rounds(n), detail=detail)
 
         assert nblocks == granks.size
 
-        # 4a: alternating-direction block sorts (even rank ascending)
-        sort_blocks(f"step4 block sorts (k={k})")
-        if trace is not None:
-            trace(f"merge{k}_step4_sorted", a.copy())
-
-        # 4b: two odd-even transposition steps between snake-consecutive
-        # blocks; minima migrate to the predecessor (lower-rank) block.
-        for parity in (0, 1):
-            for z in range(parity, nblocks - 1, 2):
-                lo = blocks[order[z]]
-                hi = blocks[order[z + 1]]
-                mn = np.minimum(lo, hi)
-                hi[...] = np.maximum(lo, hi)
-                lo[...] = mn
-            if charge:
-                ledger.charge_routing(
-                    self.routing.rounds(n),
-                    detail=f"step4 transposition parity {parity} (k={k})",
-                )
+        with tracer.span("cleanup", dim=k):
+            # 4a: alternating-direction block sorts (even rank ascending)
+            sort_blocks(f"step4 block sorts (k={k})", "block-sorts")
             if trace is not None:
-                trace(f"merge{k}_step4_transposition{parity}", a.copy())
+                trace(f"merge{k}_step4_sorted", a.copy())
 
-        # 4c: final alternating block sorts
-        sort_blocks(f"step4 final block sorts (k={k})")
-        if trace is not None:
-            trace(f"merge{k}_step4_final", a.copy())
+            # 4b: two odd-even transposition steps between snake-consecutive
+            # blocks; minima migrate to the predecessor (lower-rank) block.
+            for parity in (0, 1):
+                with tracer.span("transposition", kind="routing", dim=k, parity=parity) as sp:
+                    for z in range(parity, nblocks - 1, 2):
+                        lo = blocks[order[z]]
+                        hi = blocks[order[z + 1]]
+                        mn = np.minimum(lo, hi)
+                        hi[...] = np.maximum(lo, hi)
+                        lo[...] = mn
+                    if not tracer.disabled:
+                        sp.set(rounds=self.routing.rounds(n))
+                if charge:
+                    ledger.charge_routing(
+                        self.routing.rounds(n),
+                        detail=f"step4 transposition parity {parity} (k={k})",
+                    )
+                if trace is not None:
+                    trace(f"merge{k}_step4_transposition{parity}", a.copy())
 
-    def _step4_vectorised(self, a: np.ndarray, ledger: CostLedger, charge: bool) -> None:
+            # 4c: final alternating block sorts
+            sort_blocks(f"step4 final block sorts (k={k})", "final-block-sorts")
+            if trace is not None:
+                trace(f"merge{k}_step4_final", a.copy())
+
+    def _step4_vectorised(
+        self, a: np.ndarray, ledger: CostLedger, charge: bool, tracer: Tracer = NULL_TRACER
+    ) -> None:
         """Batched Step 4: identical data movement, one ``np.sort`` call per
         block-sort phase instead of one per block."""
         k = a.ndim
@@ -303,27 +366,34 @@ class ProductNetworkSorter:
         descending = (granks % 2).astype(bool)
         rank2_flat = np.asarray(self._rank2).ravel()
 
-        def sort_blocks(detail: str) -> None:
-            seq = np.sort(flat, axis=1)
-            seq[descending] = seq[descending, ::-1]
-            flat[:] = seq[:, rank2_flat]
+        def sort_blocks(detail: str, span_name: str) -> None:
+            with tracer.span(span_name, kind="s2", dim=k) as sp:
+                seq = np.sort(flat, axis=1)
+                seq[descending] = seq[descending, ::-1]
+                flat[:] = seq[:, rank2_flat]
+                if not tracer.disabled:
+                    sp.set(rounds=self.sorter2d.rounds(n), blocks=nblocks)
             if charge:
                 ledger.charge_s2(self.sorter2d.rounds(n), detail=detail)
 
-        sort_blocks(f"step4 block sorts (k={k})")
-        for parity in (0, 1):
-            zs = np.arange(parity, nblocks - 1, 2)
-            if zs.size:
-                lo_idx, hi_idx = order[zs], order[zs + 1]
-                lo, hi = flat[lo_idx], flat[hi_idx]
-                flat[lo_idx] = np.minimum(lo, hi)
-                flat[hi_idx] = np.maximum(lo, hi)
-            if charge:
-                ledger.charge_routing(
-                    self.routing.rounds(n),
-                    detail=f"step4 transposition parity {parity} (k={k})",
-                )
-        sort_blocks(f"step4 final block sorts (k={k})")
+        with tracer.span("cleanup", dim=k):
+            sort_blocks(f"step4 block sorts (k={k})", "block-sorts")
+            for parity in (0, 1):
+                with tracer.span("transposition", kind="routing", dim=k, parity=parity) as sp:
+                    zs = np.arange(parity, nblocks - 1, 2)
+                    if zs.size:
+                        lo_idx, hi_idx = order[zs], order[zs + 1]
+                        lo, hi = flat[lo_idx], flat[hi_idx]
+                        flat[lo_idx] = np.minimum(lo, hi)
+                        flat[hi_idx] = np.maximum(lo, hi)
+                    if not tracer.disabled:
+                        sp.set(rounds=self.routing.rounds(n))
+                if charge:
+                    ledger.charge_routing(
+                        self.routing.rounds(n),
+                        detail=f"step4 transposition parity {parity} (k={k})",
+                    )
+            sort_blocks(f"step4 final block sorts (k={k})", "final-block-sorts")
 
         if buf is not a:
             a[...] = buf.reshape(a.shape)

@@ -24,6 +24,7 @@ from ..graphs.base import FactorGraph
 from ..graphs.product import ProductGraph, SubgraphView
 from ..machine.machine import NetworkMachine
 from ..machine.metrics import CostLedger
+from ..observability import NULL_TRACER, MachineTimeline, Tracer, coerce_tracer
 from ..orders.gray import gray_rank, gray_unrank
 from ..sorters2d.base import ExecutableTwoDimSorter
 from ..sorters2d.hypercube2d import HypercubeThreeStepSorter
@@ -93,24 +94,55 @@ class MachineSorter:
     def r(self) -> int:
         return self.network.r
 
-    def sort(self, keys) -> tuple[NetworkMachine, CostLedger]:
+    def sort(
+        self,
+        keys,
+        tracer: Tracer | None = None,
+        timeline: MachineTimeline | None = None,
+    ) -> tuple[NetworkMachine, CostLedger]:
         """Sort flat ``keys`` (node flat-index order) into snake order.
 
         Returns the machine (holding the sorted keys — read them with
         ``machine.lattice()``) and the measured cost ledger.
+
+        When a ``tracer`` is given, the run is recorded as a span tree of
+        the charged phases with *measured* rounds and comparisons per span
+        (Theorem 1's ``(r-1)**2`` / ``(r-1)(r-2)`` call structure, from
+        telemetry).  When a ``timeline`` is given it is attached to the
+        machine and receives every compare-exchange super-step.
         """
         machine = NetworkMachine(self.network, keys)
+        if timeline is not None:
+            machine.timeline = timeline
         ledger = CostLedger()
+        tracer = coerce_tracer(tracer)
         root = self.network.subgraph((), ())
 
-        # initial parallel sort of every dimension-{1,2} PG_2 block
-        blocks = self._pg2_blocks(root)
-        rounds = self.sorter.sort_batch(machine, blocks, [False] * len(blocks))
-        ledger.charge_s2(rounds, detail="initial PG2 block sorts")
+        with tracer.span(
+            "sort",
+            backend="machine",
+            factor=self.network.factor.name,
+            sorter=self.sorter.name,
+            n=self.n,
+            r=self.r,
+            keys=machine.keys.size,
+        ):
+            # initial parallel sort of every dimension-{1,2} PG_2 block
+            blocks = self._pg2_blocks(root)
+            with tracer.span("initial-block-sorts", kind="s2", dim=2) as sp:
+                before = machine.comparisons
+                rounds = self.sorter.sort_batch(machine, blocks, [False] * len(blocks))
+                if not tracer.disabled:
+                    sp.set(
+                        rounds=rounds,
+                        blocks=len(blocks),
+                        comparisons=machine.comparisons - before,
+                    )
+            ledger.charge_s2(rounds, detail="initial PG2 block sorts")
 
-        # merge rounds j = 3..r, all PG_j subgraphs of a round in lockstep
-        for j in range(3, self.r + 1):
-            self._merge_batch(machine, self._level_views(j), ledger)
+            # merge rounds j = 3..r, all PG_j subgraphs of a round in lockstep
+            for j in range(3, self.r + 1):
+                self._merge_batch(machine, self._level_views(j), ledger, tracer)
 
         assert machine.rounds == ledger.total_rounds, "every round must be attributed"
         return machine, ledger
@@ -144,7 +176,11 @@ class MachineSorter:
         return ranked
 
     def _merge_batch(
-        self, machine: NetworkMachine, views: list[SubgraphView], ledger: CostLedger
+        self,
+        machine: NetworkMachine,
+        views: list[SubgraphView],
+        ledger: CostLedger,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         """Multiway-merge every view in the batch, in parallel lockstep."""
         k = views[0].reduced_order
@@ -152,19 +188,34 @@ class MachineSorter:
         if any(v.reduced_order != k for v in views):
             raise ValueError("batch must be level-homogeneous")
         if k == 2:
-            rounds = self.sorter.sort_batch(machine, views, [False] * len(views))
+            with tracer.span("merge-base", kind="s2", dim=2) as sp:
+                before = machine.comparisons
+                rounds = self.sorter.sort_batch(machine, views, [False] * len(views))
+                if not tracer.disabled:
+                    sp.set(
+                        rounds=rounds,
+                        blocks=len(views),
+                        comparisons=machine.comparisons - before,
+                    )
             ledger.charge_s2(rounds, detail="merge base (k=2) PG2 sorts")
             return
 
-        # Steps 1 & 3: free.  Step 2: recurse into every [v]PG^1_{k-1} of
-        # every view — one combined batch, so parallel time is counted once.
-        subviews = [
-            _fix_reduced_position(view, 1, v) for view in views for v in range(n)
-        ]
-        self._merge_batch(machine, subviews, ledger)
+        with tracer.span("merge", dim=k, subgraphs=len(views)):
+            # Steps 1 & 3: free.  Step 2: recurse into every [v]PG^1_{k-1} of
+            # every view — one combined batch, so parallel time is counted
+            # once.
+            with tracer.span("distribute", kind="free", dim=k, rounds=0):
+                pass
+            with tracer.span("column-merges", dim=k):
+                subviews = [
+                    _fix_reduced_position(view, 1, v) for view in views for v in range(n)
+                ]
+                self._merge_batch(machine, subviews, ledger, tracer)
+            with tracer.span("interleave", kind="free", dim=k, rounds=0):
+                pass
 
-        # Step 4 on all views simultaneously
-        self._step4_batch(machine, views, ledger, k)
+            # Step 4 on all views simultaneously
+            self._step4_batch(machine, views, ledger, k, tracer)
 
     def _step4_batch(
         self,
@@ -172,45 +223,56 @@ class MachineSorter:
         views: list[SubgraphView],
         ledger: CostLedger,
         k: int,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         n = self.n
         per_view_blocks = [self._pg2_blocks(view) for view in views]
         directions = [bool(z % 2) for z in range(n ** (k - 2))]
 
-        def sort_all(detail: str) -> None:
+        def sort_all(detail: str, span_name: str) -> None:
             batch: list[SubgraphView] = []
             desc: list[bool] = []
             for blocks in per_view_blocks:
                 batch.extend(blocks)
                 desc.extend(directions)
-            rounds = self.sorter.sort_batch(machine, batch, desc)
+            with tracer.span(span_name, kind="s2", dim=k) as sp:
+                before = machine.comparisons
+                rounds = self.sorter.sort_batch(machine, batch, desc)
+                if not tracer.disabled:
+                    sp.set(
+                        rounds=rounds,
+                        blocks=len(batch),
+                        comparisons=machine.comparisons - before,
+                    )
             ledger.charge_s2(rounds, detail=detail)
 
-        # 4a: alternating-direction block sorts (even group rank ascending)
-        sort_all(f"step4 block sorts (k={k})")
+        with tracer.span("cleanup", dim=k):
+            # 4a: alternating-direction block sorts (even group rank first)
+            sort_all(f"step4 block sorts (k={k})", "block-sorts")
 
-        # 4b: two odd-even block-transposition steps; minima to predecessor.
-        nblocks = n ** (k - 2)
-        for parity in (0, 1):
-            pairs: list[tuple[Label, Label]] = []
-            for blocks in per_view_blocks:
-                for z in range(parity, nblocks - 1, 2):
-                    lo_view, hi_view = blocks[z], blocks[z + 1]
-                    for y2 in range(n):
-                        for y1 in range(n):
-                            pairs.append(
-                                (lo_view.full_label((y2, y1)), hi_view.full_label((y2, y1)))
-                            )
-            if pairs:
-                rounds = machine.compare_exchange(pairs)
+            # 4b: two odd-even block-transposition steps; minima to
+            # predecessor.
+            nblocks = n ** (k - 2)
+            for parity in (0, 1):
+                pairs: list[tuple[Label, Label]] = []
+                for blocks in per_view_blocks:
+                    for z in range(parity, nblocks - 1, 2):
+                        lo_view, hi_view = blocks[z], blocks[z + 1]
+                        for y2 in range(n):
+                            for y1 in range(n):
+                                pairs.append(
+                                    (lo_view.full_label((y2, y1)), hi_view.full_label((y2, y1)))
+                                )
+                with tracer.span("transposition", kind="routing", dim=k, parity=parity) as sp:
+                    rounds = machine.compare_exchange(pairs) if pairs else 0
+                    if not tracer.disabled:
+                        sp.set(rounds=rounds, pairs=len(pairs))
                 ledger.charge_routing(
                     rounds, detail=f"step4 transposition parity {parity} (k={k})"
                 )
-            else:
-                ledger.charge_routing(0, detail=f"step4 transposition parity {parity} (k={k})")
 
-        # 4c: final alternating block sorts
-        sort_all(f"step4 final block sorts (k={k})")
+            # 4c: final alternating block sorts
+            sort_all(f"step4 final block sorts (k={k})", "final-block-sorts")
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

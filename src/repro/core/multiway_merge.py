@@ -31,7 +31,10 @@ local snake order; tests assert the two agree state by state.
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from typing import Any
+from typing import Any, Union
+
+from ..observability import CallbackSubscriber, EventBus, Tracer, coerce_tracer, point_event
+from ..observability.tracer import NullTracer
 
 __all__ = [
     "multiway_merge",
@@ -43,8 +46,16 @@ __all__ = [
 
 #: signature of the assumed N^2-key sorter: takes the keys, returns them sorted
 Sort2 = Callable[[list[Any]], list[Any]]
-#: optional observer: trace(event_name, payload)
-Trace = Callable[[str, Any], None] | None
+#: optional observer for the intermediate states (``step1_B`` .. ``result``).
+#: Preferred: an :class:`~repro.observability.events.EventBus` (states arrive
+#: as ``point`` events) or a :class:`~repro.observability.tracer.Tracer`
+#: (states arrive on its bus, parented under the current span).  A bare
+#: ``trace(event_name, payload)`` callable is still accepted for backward
+#: compatibility — it is wrapped in a
+#: :class:`~repro.observability.events.CallbackSubscriber` on a private bus —
+#: but new code should subscribe to a bus instead; the bare-callable form is
+#: deprecated and may go away once nothing in-tree uses it.
+Trace = Union[Callable[[str, Any], None], EventBus, Tracer, None]
 #: optional compare-exchange override: (a, b) -> (low, high).  Defaults to the
 #: plain swap ``(min, max)``; the bulk extension passes a merge-split so each
 #: "key" can itself be a sorted run (Knuth's classic lifting: any oblivious
@@ -56,6 +67,31 @@ Exchange = Callable[[Any, Any], tuple[Any, Any]]
 def _swap_exchange(a: Any, b: Any) -> tuple[Any, Any]:
     """Default compare-exchange: route the smaller atom to the low side."""
     return (b, a) if b < a else (a, b)
+
+
+def _trace_emitter(trace: Trace) -> Callable[[str, Any], None] | None:
+    """Normalise the ``trace`` argument onto the event bus.
+
+    Returns an ``emit(name, payload)`` closure (or ``None`` when tracing is
+    off).  Every form — bus, tracer, legacy callable — flows through
+    :class:`~repro.observability.events.EventBus` publication, so subscribers
+    and legacy observers see identical event streams.
+    """
+    if trace is None or isinstance(trace, NullTracer):
+        return None
+    if isinstance(trace, Tracer):
+        return lambda name, payload: trace.event(name, payload=payload)
+    if isinstance(trace, EventBus):
+        bus = trace
+    else:  # legacy bare callable (deprecated): wrap it onto a private bus
+        bus = EventBus()
+        bus.subscribe(CallbackSubscriber(trace))
+
+    def emit(name: str, payload: Any) -> None:
+        if bus.active:
+            bus.publish(point_event(name, payload))
+
+    return emit
 
 
 def default_sort2(keys: list[Any]) -> list[Any]:
@@ -127,6 +163,7 @@ def clean_dirty_area(
     sort2: Sort2 = default_sort2,
     trace: Trace = None,
     exchange: Exchange = _swap_exchange,
+    tracer: Tracer | None = None,
 ) -> list[Any]:
     """Step 4: clean the (<= ``N**2``-long, Lemma 1) dirty window of ``D``.
 
@@ -136,34 +173,40 @@ def clean_dirty_area(
     except for a window of at most ``N**2`` keys spanning at most two
     adjacent blocks (Lemma 2's proof, executed literally).
     """
+    emit = _trace_emitter(trace)
+    tracer = coerce_tracer(tracer)
     block = n * n
     if len(d) % block != 0:
         raise ValueError("sequence length must be a multiple of N^2")
     nblocks = len(d) // block
     blocks = [list(d[z * block : (z + 1) * block]) for z in range(nblocks)]
 
-    # F: sort nondecreasing (even z) / nonincreasing (odd z)
-    blocks = [
-        sort2(b) if z % 2 == 0 else sort2(b)[::-1] for z, b in enumerate(blocks)
-    ]
-    if trace is not None:
-        trace("step4_F", [list(b) for b in blocks])
+    with tracer.span("cleanup", n=n, blocks=nblocks):
+        # F: sort nondecreasing (even z) / nonincreasing (odd z)
+        with tracer.span("block-sorts", kind="s2", n=n, blocks=nblocks):
+            blocks = [
+                sort2(b) if z % 2 == 0 else sort2(b)[::-1] for z, b in enumerate(blocks)
+            ]
+        if emit is not None:
+            emit("step4_F", [list(b) for b in blocks])
 
-    # two odd-even transposition steps, minima to the lower block
-    for parity in (0, 1):
-        for z in range(parity, nblocks - 1, 2):
-            lo, hi = blocks[z], blocks[z + 1]
-            for t in range(block):
-                lo[t], hi[t] = exchange(lo[t], hi[t])
-        if trace is not None:
-            trace("step4_G" if parity == 0 else "step4_H", [list(b) for b in blocks])
+        # two odd-even transposition steps, minima to the lower block
+        for parity in (0, 1):
+            with tracer.span("transposition", kind="routing", n=n, parity=parity):
+                for z in range(parity, nblocks - 1, 2):
+                    lo, hi = blocks[z], blocks[z + 1]
+                    for t in range(block):
+                        lo[t], hi[t] = exchange(lo[t], hi[t])
+            if emit is not None:
+                emit("step4_G" if parity == 0 else "step4_H", [list(b) for b in blocks])
 
-    # final ascending sorts and concatenation
-    out: list[Any] = []
-    for b in blocks:
-        out.extend(sort2(b))
-    if trace is not None:
-        trace("step4_I", list(out))
+        # final ascending sorts and concatenation
+        out: list[Any] = []
+        with tracer.span("final-block-sorts", kind="s2", n=n, blocks=nblocks):
+            for b in blocks:
+                out.extend(sort2(b))
+        if emit is not None:
+            emit("step4_I", list(out))
     return out
 
 
@@ -173,6 +216,7 @@ def multiway_merge(
     trace: Trace = None,
     validate: bool = False,
     exchange: Exchange = _swap_exchange,
+    tracer: Tracer | None = None,
 ) -> list[Any]:
     """Merge ``N`` sorted sequences of ``N**(k-1)`` keys each (§3.1).
 
@@ -185,12 +229,25 @@ def multiway_merge(
     sort2:
         the assumed ``N**2``-key sorter (Step 2's base case and Step 4).
     trace:
-        optional observer called with every intermediate stage.
+        optional observer receiving every intermediate stage: an
+        :class:`~repro.observability.events.EventBus` (or
+        :class:`~repro.observability.tracer.Tracer`) on which the stages
+        arrive as ``point`` events, or — deprecated but still supported — a
+        bare ``trace(event_name, payload)`` callable.
     validate:
         when true, check the inputs are actually sorted (O(total) extra).
+    tracer:
+        optional :class:`~repro.observability.tracer.Tracer`; the merge
+        records its recursion as a span tree (``multiway-merge`` →
+        ``distribute`` / ``column-merge`` / ``interleave`` / ``cleanup``).
+        Note this is the *sequence-level work* tree — every recursive column
+        merge appears — unlike the network backends whose spans follow
+        parallel-time accounting.
 
     Returns the single sorted sequence of all ``N**k`` keys.
     """
+    emit = _trace_emitter(trace)
+    tracer = coerce_tracer(tracer)
     n, m = _validate_inputs(sequences)
     if validate:
         for u, s in enumerate(sequences):
@@ -198,31 +255,49 @@ def multiway_merge(
                 if b < a:
                     raise ValueError(f"input sequence {u} is not sorted")
 
-    # Step 1: distribute each A_u into N sorted subsequences B_{u,v}
-    b = [distribute(seq, n) for seq in sequences]
-    if trace is not None:
-        trace("step1_B", [[list(col) for col in row] for row in b])
+    with tracer.span("multiway-merge", n=n, m=m, keys=n * m):
+        # Step 1: distribute each A_u into N sorted subsequences B_{u,v}
+        with tracer.span("distribute", kind="free", n=n):
+            b = [distribute(seq, n) for seq in sequences]
+        if emit is not None:
+            emit("step1_B", [[list(col) for col in row] for row in b])
 
-    # Step 2: merge column v's N subsequences into C_v
-    columns: list[list[Any]] = []
-    for v in range(n):
-        col_inputs = [b[u][v] for u in range(n)]
-        if m == n * n:
-            # each subsequence holds m/N = N keys: N^2 keys total -> sort
-            merged: list[Any] = sort2([key for s in col_inputs for key in s])
-        else:
-            merged = multiway_merge(col_inputs, sort2=sort2, trace=None, exchange=exchange)
-        columns.append(merged)
-    if trace is not None:
-        trace("step2_C", [list(c) for c in columns])
+        # Step 2: merge column v's N subsequences into C_v
+        columns: list[list[Any]] = []
+        for v in range(n):
+            col_inputs = [b[u][v] for u in range(n)]
+            with tracer.span("column-merge", column=v, n=n):
+                if m == n * n:
+                    # each subsequence holds m/N = N keys: N^2 keys -> sort
+                    with tracer.span("base-sort", kind="s2", n=n):
+                        merged: list[Any] = sort2([key for s in col_inputs for key in s])
+                else:
+                    merged = multiway_merge(
+                        col_inputs,
+                        sort2=sort2,
+                        trace=None,
+                        exchange=exchange,
+                        tracer=None if tracer.disabled else tracer,
+                    )
+            columns.append(merged)
+        if emit is not None:
+            emit("step2_C", [list(c) for c in columns])
 
-    # Step 3: interleave into D
-    d = interleave(columns, n)
-    if trace is not None:
-        trace("step3_D", list(d))
+        # Step 3: interleave into D
+        with tracer.span("interleave", kind="free", n=n):
+            d = interleave(columns, n)
+        if emit is not None:
+            emit("step3_D", list(d))
 
-    # Step 4: clean the dirty area
-    result = clean_dirty_area(d, n, sort2=sort2, trace=trace, exchange=exchange)
-    if trace is not None:
-        trace("result", list(result))
+        # Step 4: clean the dirty area
+        result = clean_dirty_area(
+            d,
+            n,
+            sort2=sort2,
+            trace=trace,
+            exchange=exchange,
+            tracer=None if tracer.disabled else tracer,
+        )
+        if emit is not None:
+            emit("result", list(result))
     return result

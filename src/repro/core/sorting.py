@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from typing import Any
 
+from ..observability import Tracer, coerce_tracer
 from .multiway_merge import Exchange, Sort2, Trace, _swap_exchange, default_sort2, multiway_merge
 
 __all__ = ["multiway_merge_sort", "required_order"]
@@ -44,6 +45,7 @@ def multiway_merge_sort(
     trace: Trace = None,
     on_round: Callable[[int, list[list[Any]]], None] | None = None,
     exchange: Exchange = _swap_exchange,
+    tracer: Tracer | None = None,
 ) -> list[Any]:
     """Sort ``N**r`` keys by repeated multiway merging (§3.3).
 
@@ -62,28 +64,41 @@ def multiway_merge_sort(
         optional observer ``on_round(k, sequences)`` called after the
         initial sort (``k == 2``) and after every merge round (``k = 3..r``)
         with the current list of sorted sequences.
+    tracer:
+        optional :class:`~repro.observability.tracer.Tracer`; records a
+        ``sort`` root span with one ``merge-round`` child per ``k = 3..r``,
+        each containing its merges' sequence-level span trees.
 
     Returns the fully sorted list.
     """
     r = required_order(len(keys), n)
     if r < 2:
         raise ValueError("the algorithm sorts N**r keys for r >= 2 (§3.3)")
+    tracer = coerce_tracer(tracer)
+    sub_tracer = None if tracer.disabled else tracer
 
-    block = n * n
-    sequences: list[list[Any]] = [
-        sort2(list(keys[i : i + block])) for i in range(0, len(keys), block)
-    ]
-    if on_round is not None:
-        on_round(2, [list(s) for s in sequences])
-
-    k = 2
-    while len(sequences) > 1:
-        k += 1
-        merged: list[list[Any]] = []
-        for g in range(0, len(sequences), n):
-            group = sequences[g : g + n]
-            merged.append(multiway_merge(group, sort2=sort2, trace=trace, exchange=exchange))
-        sequences = merged
+    with tracer.span("sort", backend="sequence", n=n, r=r, keys=len(keys)):
+        block = n * n
+        with tracer.span("initial-block-sorts", kind="s2", n=n, blocks=len(keys) // block):
+            sequences: list[list[Any]] = [
+                sort2(list(keys[i : i + block])) for i in range(0, len(keys), block)
+            ]
         if on_round is not None:
-            on_round(k, [list(s) for s in sequences])
+            on_round(2, [list(s) for s in sequences])
+
+        k = 2
+        while len(sequences) > 1:
+            k += 1
+            merged: list[list[Any]] = []
+            with tracer.span("merge-round", dim=k, groups=len(sequences) // n):
+                for g in range(0, len(sequences), n):
+                    group = sequences[g : g + n]
+                    merged.append(
+                        multiway_merge(
+                            group, sort2=sort2, trace=trace, exchange=exchange, tracer=sub_tracer
+                        )
+                    )
+            sequences = merged
+            if on_round is not None:
+                on_round(k, [list(s) for s in sequences])
     return sequences[0]

@@ -59,6 +59,11 @@ class NetworkMachine:
         self.operations = 0
         #: optional :class:`~repro.machine.stats.TrafficRecorder`
         self.recorder = None
+        #: optional :class:`~repro.observability.timeline.MachineTimeline` —
+        #: receives ``record(pairs, cost)`` once per super-step, and (when
+        #: built with a bus) republishes each step as a ``machine_step``
+        #: event for any other subscriber on the telemetry spine
+        self.timeline = None
 
     # ------------------------------------------------------------------
     # views
@@ -140,6 +145,8 @@ class NetworkMachine:
         self.operations += 1
         if self.recorder is not None:
             self.recorder.record(pairs, cost)
+        if self.timeline is not None:
+            self.timeline.record(pairs, cost)
         return cost
 
     # ------------------------------------------------------------------

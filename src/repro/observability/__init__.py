@@ -1,0 +1,65 @@
+"""Unified tracing & telemetry for the product-network sorters.
+
+The paper's claims are structural — Lemma 3 and Theorem 1 count *which
+phases run, how often, at what cost* — so this package records a run as a
+hierarchical tree of phase :class:`~repro.observability.tracer.Span` objects
+(distribute → column-merges → interleave → clean-up, recursing through
+dimensions ``3..r``), streams everything over one
+:class:`~repro.observability.events.EventBus`, and exports to JSONL, Chrome
+trace-event JSON (Perfetto / ``chrome://tracing``) and text summaries.
+
+Typical use::
+
+    from repro.core.lattice_sort import ProductNetworkSorter
+    from repro.observability import Tracer, chrome_trace_json
+    from repro.graphs import path_graph
+
+    tracer = Tracer()
+    sorter = ProductNetworkSorter.for_factor(path_graph(3), r=3)
+    sorter.sort_sequence(keys, tracer=tracer)
+    assert tracer.count(kind="s2") == (3 - 1) ** 2        # Theorem 1, live
+    open("sort.trace.json", "w").write(chrome_trace_json(tracer))
+
+Passing ``tracer=None`` (the default everywhere) routes through the shared
+:data:`~repro.observability.tracer.NULL_TRACER`, whose spans are one
+preallocated no-op object — untraced runs pay essentially nothing.
+"""
+
+from .events import (
+    CallbackSubscriber,
+    EventBus,
+    LedgerSubscriber,
+    TraceEvent,
+    TrafficSubscriber,
+    point_event,
+)
+from .export import (
+    chrome_trace_json,
+    phase_summary,
+    spans_to_jsonl,
+    timeline_to_jsonl,
+    to_chrome_trace,
+)
+from .timeline import MachineStep, MachineTimeline
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer, coerce_tracer
+
+__all__ = [
+    "TraceEvent",
+    "EventBus",
+    "CallbackSubscriber",
+    "LedgerSubscriber",
+    "TrafficSubscriber",
+    "point_event",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "coerce_tracer",
+    "MachineStep",
+    "MachineTimeline",
+    "spans_to_jsonl",
+    "timeline_to_jsonl",
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "phase_summary",
+]

@@ -1,0 +1,134 @@
+"""Per-super-step machine timeline: what the hardware did, step by step.
+
+Where the span tree answers *which phase ran when*, the timeline answers the
+machine-level questions underneath: how many node pairs each compare-exchange
+super-step engaged (parallelism actually exploited), which paper dimension
+carried it, and whether the exchange rode network links or had to route.
+Attach one to a :class:`~repro.machine.machine.NetworkMachine`::
+
+    machine.timeline = MachineTimeline(machine.network)
+
+The machine calls :meth:`MachineTimeline.record` once per super-step — the
+same single-line hook the :class:`~repro.machine.stats.TrafficRecorder`
+uses.  When built with a bus, every step is also published as a
+``machine_step`` event, which is how the traffic recorder can ride the
+unified spine instead of a direct machine attribute (see
+:class:`~repro.observability.events.TrafficSubscriber`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .events import EventBus, TraceEvent, clock
+
+__all__ = ["MachineStep", "MachineTimeline"]
+
+Label = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class MachineStep:
+    """One compare-exchange super-step, as the machine executed it."""
+
+    #: 0-based super-step index
+    index: int
+    #: node pairs engaged simultaneously
+    pairs: int
+    #: synchronous rounds the step was charged (>1 only when routing)
+    rounds: int
+    #: paper dimension (1 = rightmost symbol) all pairs lie in, or ``None``
+    #: when one step mixes dimensions
+    dimension: int | None
+    #: True when every pair was a factor edge (no routing needed)
+    adjacent: bool
+    #: fraction of the machine's nodes busy this step
+    utilisation: float
+    #: wall-clock stamp (perf_counter seconds) when the step was recorded
+    time: float
+
+
+class MachineTimeline:
+    """Ordered record of every super-step of one machine run.
+
+    Parameters
+    ----------
+    network:
+        the :class:`~repro.graphs.product.ProductGraph` being simulated
+        (used to derive dimensions and utilisation).
+    bus:
+        optional :class:`EventBus`; when given and active, each recorded
+        step is also published as a ``machine_step`` event carrying the raw
+        pair list.
+    """
+
+    def __init__(self, network, bus: EventBus | None = None) -> None:
+        self.network = network
+        self.bus = bus
+        self.steps: list[MachineStep] = []
+
+    def record(self, pairs: list[tuple[Label, Label]], cost: int) -> None:
+        """Observe one super-step (called by the machine)."""
+        r = self.network.r
+        factor = self.network.factor
+        dims: set[int] = set()
+        adjacent = True
+        for lo, hi in pairs:
+            diff = [i for i, (a, b) in enumerate(zip(lo, hi)) if a != b]
+            if len(diff) != 1:  # pragma: no cover - machine validates first
+                continue
+            dims.add(r - diff[0])
+            if not factor.has_edge(lo[diff[0]], hi[diff[0]]):
+                adjacent = False
+        nodes = self.network.num_nodes
+        step = MachineStep(
+            index=len(self.steps),
+            pairs=len(pairs),
+            rounds=cost,
+            dimension=dims.pop() if len(dims) == 1 else None,
+            adjacent=adjacent,
+            utilisation=(2 * len(pairs) / nodes) if nodes else 0.0,
+            time=clock(),
+        )
+        self.steps.append(step)
+        if self.bus is not None and self.bus.active:
+            self.bus.publish(
+                TraceEvent(
+                    kind="machine_step",
+                    name="compare_exchange",
+                    time=step.time,
+                    attrs={
+                        "step": step.index,
+                        "pairs": tuple(pairs),
+                        "rounds": cost,
+                        "dimension": step.dimension,
+                        "adjacent": adjacent,
+                    },
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Aggregate view: totals plus per-dimension step/pair counts."""
+        steps = self.steps
+        per_dim_steps: dict[int, int] = {}
+        per_dim_pairs: dict[int, int] = {}
+        for s in steps:
+            if s.dimension is not None:
+                per_dim_steps[s.dimension] = per_dim_steps.get(s.dimension, 0) + 1
+                per_dim_pairs[s.dimension] = per_dim_pairs.get(s.dimension, 0) + s.pairs
+        pair_count = sum(s.pairs for s in steps)
+        return {
+            "steps": len(steps),
+            "rounds": sum(s.rounds for s in steps),
+            "pairs": pair_count,
+            "mean_parallelism": pair_count / len(steps) if steps else 0.0,
+            "peak_utilisation": max((s.utilisation for s in steps), default=0.0),
+            "routed_steps": sum(1 for s in steps if not s.adjacent),
+            "dimension_steps": dict(sorted(per_dim_steps.items())),
+            "dimension_pairs": dict(sorted(per_dim_pairs.items())),
+        }
+
+    def reset(self) -> None:
+        """Forget everything (reuse across runs)."""
+        self.steps.clear()

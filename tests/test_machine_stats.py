@@ -62,6 +62,40 @@ class TestRecorder:
         rec = TrafficRecorder(ProductGraph(path_graph(3), 2))
         stats = rec.stats()
         assert stats.operations == 0 and stats.mean_parallelism == 0.0
+        assert stats.pair_count == 0 and stats.peak_node_utilisation == 0.0
+        assert stats.dimension_ops == {} and stats.dimension_lanes == {}
+        assert stats.adjacent_pairs == 0 and stats.routed_pairs == 0
+
+    def test_reset_then_reuse_matches_fresh(self):
+        net = ProductGraph(path_graph(3), 2)
+        machine = NetworkMachine(net, np.arange(9))
+        rec = TrafficRecorder(net)
+        machine.recorder = rec
+        pairs = [((0, 0), (0, 1)), ((1, 0), (2, 0))]
+        machine.compare_exchange(pairs)
+        rec.reset()
+        assert rec.stats().operations == 0
+        machine.compare_exchange([(hi, lo) for lo, hi in pairs])  # swap back
+        reused = rec.stats()
+        fresh_machine = NetworkMachine(net, np.arange(9))
+        fresh = TrafficRecorder(net)
+        fresh_machine.recorder = fresh
+        fresh_machine.compare_exchange(pairs)
+        assert reused == fresh.stats()
+
+    def test_routed_vs_adjacent_counting_in_one_step(self):
+        # a single super-step mixing an adjacent pair with a routed pair must
+        # split the tally, and the routed subgraph must lift the step's cost
+        net = ProductGraph(complete_binary_tree(2), 2)
+        machine = NetworkMachine(net, np.arange(49))
+        rec = TrafficRecorder(net)
+        machine.recorder = rec
+        # labels 0-1 are a tree edge; 3-4 are two leaves (non-adjacent)
+        cost = machine.compare_exchange([((0, 0), (0, 1)), ((1, 3), (1, 4))])
+        stats = rec.stats()
+        assert stats.adjacent_pairs == 1 and stats.routed_pairs == 1
+        assert stats.pair_count == 2 and stats.operations == 1
+        assert cost > 1  # routing made the super-step cost more than one round
 
 
 class TestSortTraffic:

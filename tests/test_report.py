@@ -16,6 +16,12 @@ class TestGenerateReport:
         assert "Theorem 1" in text
         assert "§5.1" in text
         assert "§5.3" in text
+        assert "Telemetry" in text
+
+    def test_telemetry_section_exact(self):
+        text = generate_report(max_n_lemma1=2, max_r_hypercube=3)
+        assert "TELEMETRY MISMATCH" not in text
+        assert "Span counts reproduce Theorem 1 structurally" in text
 
     def test_every_theorem1_row_exact(self):
         text = generate_report(max_n_lemma1=2, max_r_hypercube=3)

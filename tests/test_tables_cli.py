@@ -77,6 +77,31 @@ class TestCostLedger:
         ledger.charge_s2(1)
         assert ledger.records == []
 
+    def test_absorb_mixed_keep_log_settings(self):
+        # logging absorber + silent absorbee: totals fold in, no records come
+        logging, silent = CostLedger(keep_log=True), CostLedger(keep_log=False)
+        logging.charge_s2(3, detail="mine")
+        silent.charge_s2(5)
+        silent.charge_routing(2)
+        logging.absorb(silent)
+        assert logging.s2_calls == 2 and logging.s2_rounds == 8
+        assert logging.routing_calls == 1 and logging.total_rounds == 10
+        assert [rec.detail for rec in logging.records] == ["mine"]
+
+        # silent absorber + logging absorbee: totals fold in, log stays off
+        silent2, logging2 = CostLedger(keep_log=False), CostLedger(keep_log=True)
+        logging2.charge_routing(4, detail="theirs")
+        silent2.absorb(logging2)
+        assert silent2.routing_calls == 1 and silent2.routing_rounds == 4
+        assert silent2.records == []
+
+    def test_absorb_comparisons_accumulate(self):
+        a, b = CostLedger(), CostLedger()
+        a.charge_s2(1, comparisons=10)
+        b.charge_routing(1, comparisons=7)
+        a.absorb(b)
+        assert a.comparisons == 17
+
 
 class TestCli:
     def test_parser_has_all_commands(self):
@@ -110,3 +135,52 @@ class TestCli:
         assert main(["section5", "--n", "3"]) == 0
         out = capsys.readouterr().out
         assert "petersen" in out and "K2" in out
+
+    def test_section5_json(self, capsys):
+        import json
+
+        assert main(["section5", "--n", "3", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 9
+        for row in rows:
+            assert row["sorted_ok"] and row["matches_theorem1"]
+            assert row["measured_s2_calls"] == (row["r"] - 1) ** 2
+            assert row["predicted_rounds"] == row["measured_rounds"]
+
+    def test_dirty_area_json(self, capsys):
+        import json
+
+        assert main(["dirty-area", "--max-n", "3", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["n"] for row in rows] == [2, 3]
+        assert all(row["ok"] and row["max_dirty"] <= row["bound"] for row in rows)
+
+    def test_trace_summary_command(self, capsys):
+        assert main(["trace", "--factor", "path", "--n", "3", "--r", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "transposition" in out and "super-steps" in out
+
+    def test_trace_chrome_export_is_valid(self, tmp_path):
+        import json
+
+        out_file = tmp_path / "sort.trace.json"
+        # acceptance: chrome export of a 3-dimensional product network
+        assert main(
+            ["trace", "--factor", "k2", "--r", "3", "--export", "chrome", "--out", str(out_file)]
+        ) == 0
+        doc = json.loads(out_file.read_text())
+        assert "traceEvents" in doc and doc["traceEvents"]
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases and "M" in phases
+
+    def test_trace_jsonl_lattice_backend(self, capsys):
+        import json
+
+        assert main(
+            ["trace", "--factor", "path", "--n", "3", "--r", "3",
+             "--backend", "lattice", "--export", "jsonl"]
+        ) == 0
+        out = capsys.readouterr().out
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        s2 = [rec for rec in records if rec.get("kind") == "s2"]
+        assert len(s2) == 4  # (r-1)^2 for r=3, straight from the event log
