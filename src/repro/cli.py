@@ -238,6 +238,112 @@ def _cmd_worked_example(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from .observability.benchreg import DEFAULT_MATRIX, bench_path, run_matrix, write_document
+
+    doc = run_matrix(DEFAULT_MATRIX, seed=args.seed, label=args.label)
+    path = args.out if args.out else bench_path(args.label)
+    write_document(doc, path)
+    bad = [
+        c["cell"]
+        for c in doc["cells"]
+        if not (c["sorted_ok"] and c["conformance"]["ok"])
+    ]
+    print(f"wrote {path}: {len(doc['cells'])} cells, schema v{doc['schema_version']}")
+    for cell in doc["cells"]:
+        m = cell["metrics"]
+        print(
+            f"  {cell['cell']:<24} rounds={m['total_rounds']:>5}  "
+            f"comparisons={m['comparisons']:>7}  spans={m['span_count']:>3}  "
+            f"wall={m['wall_time_s'] * 1e3:.1f}ms  "
+            f"conformance={'ok' if cell['conformance']['ok'] else 'FAILED'}"
+        )
+    if bad:
+        print(f"CONFORMANCE FAILURES: {', '.join(bad)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .observability.benchreg import (
+        DEFAULT_MATRIX,
+        compare_documents,
+        find_baseline,
+        load_document,
+        run_matrix,
+    )
+
+    if args.candidate:
+        candidate = load_document(args.candidate)
+    else:
+        candidate = run_matrix(DEFAULT_MATRIX, seed=args.seed, label="candidate")
+    baseline_path = args.baseline or find_baseline(".", exclude=args.candidate)
+    if baseline_path is None:
+        print(
+            "no baseline BENCH_*.json found — bless one with 'repro bench run --label <name>'",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = load_document(baseline_path)
+    thresholds = {}
+    if args.wall_threshold is not None:
+        thresholds["wall_time_s"] = args.wall_threshold
+    result = compare_documents(baseline, candidate, thresholds=thresholds)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": result.ok,
+                    "baseline": baseline_path,
+                    "regressions": [d.describe() for d in result.regressions],
+                    "errors": result.errors,
+                    "deltas": [
+                        {
+                            "cell": d.cell,
+                            "metric": d.metric,
+                            "baseline": d.baseline,
+                            "candidate": d.candidate,
+                            "regressed": d.regressed,
+                        }
+                        for d in result.deltas
+                    ],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"baseline file: {baseline_path}")
+        print(result.render())
+    return 0 if result.ok else 1
+
+
+def _cmd_bench_metrics(args: argparse.Namespace) -> int:
+    from .core.machine_sort import MachineSorter
+    from .observability import MachineTimeline, MetricsRegistry, MetricsSubscriber, Tracer
+    from .orders import lattice_to_sequence
+
+    factor = _trace_factor(args.factor, args.n)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    tracer.bus.subscribe(MetricsSubscriber(registry))
+    sorter = MachineSorter.for_factor(factor, args.r)
+    timeline = MachineTimeline(sorter.network, bus=tracer.bus)
+    rng = np.random.default_rng(args.seed)
+    keys = rng.integers(0, 2**31, size=sorter.network.num_nodes)
+    machine, _ = sorter.sort(keys, tracer=tracer, timeline=timeline)
+    seq = lattice_to_sequence(machine.lattice())
+    if not bool(np.all(np.asarray(seq)[:-1] <= np.asarray(seq)[1:])):
+        print("UNSORTED OUTPUT — metrics not exported", file=sys.stderr)
+        return 1
+    text = (
+        json.dumps(registry.snapshot(), indent=2)
+        if args.format == "json"
+        else registry.expose_text()
+    )
+    sys.stdout.write(text if text.endswith("\n") else text + "\n")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import generate_report
 
@@ -303,6 +409,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", type=str, default=None, help="write to a file instead of stdout")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "bench",
+        help="performance observatory: snapshot, regression-compare and scrape metrics",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bench_sub.add_parser(
+        "run", help="run the workload matrix and write BENCH_<label>.json"
+    )
+    b.add_argument("--label", type=str, default="local", help="snapshot label (file name suffix)")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--out", type=str, default=None, help="explicit output path (default BENCH_<label>.json in cwd)")
+    b.set_defaults(func=_cmd_bench_run)
+
+    b = bench_sub.add_parser(
+        "compare",
+        help="compare a candidate snapshot against a baseline; non-zero exit on regression",
+    )
+    b.add_argument("--baseline", type=str, default=None, help="baseline file (default: most recent BENCH_*.json)")
+    b.add_argument("--candidate", type=str, default=None, help="candidate file (default: run the matrix now)")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument(
+        "--wall-threshold",
+        type=float,
+        default=None,
+        help="also gate wall time, at this relative tolerance (e.g. 1.0 = 2x); off by default",
+    )
+    b.add_argument("--json", action="store_true", help="machine-readable comparison")
+    b.set_defaults(func=_cmd_bench_compare)
+
+    b = bench_sub.add_parser(
+        "metrics", help="run one instrumented sort and print the metrics registry"
+    )
+    b.add_argument(
+        "--factor",
+        choices=("path", "cycle", "k2", "complete", "tree", "petersen", "debruijn"),
+        default="k2",
+    )
+    b.add_argument("--n", type=int, default=3, help="factor size (where parametric)")
+    b.add_argument("--r", type=int, default=3, help="product dimensions")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--format", choices=("prom", "json"), default="prom")
+    b.set_defaults(func=_cmd_bench_metrics)
 
     p = sub.add_parser("gray", help="print Gray/snake orders (Figs. 3-5)")
     p.add_argument("--n", type=int, default=3)

@@ -25,6 +25,12 @@ Passing ``tracer=None`` (the default everywhere) routes through the shared
 preallocated no-op object — untraced runs pay essentially nothing.
 """
 
+from .critical_path import (
+    ConformanceReport,
+    MergeLevelCheck,
+    PhaseBreakdown,
+    conformance_report,
+)
 from .events import (
     CallbackSubscriber,
     EventBus,
@@ -40,6 +46,7 @@ from .export import (
     timeline_to_jsonl,
     to_chrome_trace,
 )
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, MetricsSubscriber
 from .timeline import MachineStep, MachineTimeline
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer, coerce_tracer
 
@@ -62,4 +69,13 @@ __all__ = [
     "to_chrome_trace",
     "chrome_trace_json",
     "phase_summary",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSubscriber",
+    "ConformanceReport",
+    "MergeLevelCheck",
+    "PhaseBreakdown",
+    "conformance_report",
 ]

@@ -1,0 +1,419 @@
+"""Benchmark-regression harness: the repo's persisted perf trajectory.
+
+Runs a canonical **workload matrix** of (factor graph, r, backend) cells —
+every cell is one full traced sort — and snapshots, per cell:
+
+* the cost ledger (total/S₂/routing rounds, call counts, comparisons),
+* span statistics and the per-phase round/comparison breakdown,
+* the :mod:`~repro.observability.critical_path` conformance verdict
+  (Lemma 3 / Theorem 1, from telemetry),
+* machine traffic stats (machine-backend cells), and
+* wall time (informational; never a pass/fail signal by default).
+
+The snapshot is written as a schema-versioned ``BENCH_<label>.json`` at the
+repo root, so every PR leaves a comparable perf record in git history.
+:func:`compare_documents` diffs two snapshots cell by cell with per-metric
+thresholds (structural metrics tolerate zero regression; wall time is
+reported but not thresholded unless asked) — the CLI exits non-zero on any
+regression, which is what the CI ``bench-quick`` job gates on.
+
+Blessing a new baseline is deliberate: run ``repro bench run --label
+<name>``, eyeball the diff ``repro bench compare`` prints, and commit the
+new file (see ``docs/benchmarking.md``).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "WorkloadCell",
+    "DEFAULT_MATRIX",
+    "run_cell",
+    "run_matrix",
+    "write_document",
+    "load_document",
+    "find_baseline",
+    "DEFAULT_THRESHOLDS",
+    "MetricDelta",
+    "ComparisonResult",
+    "compare_documents",
+    "bench_path",
+]
+
+#: bump when the BENCH JSON layout changes incompatibly
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# workload matrix
+# ----------------------------------------------------------------------
+
+def _factor_builders() -> dict[str, Callable[[int], Any]]:
+    from .. import graphs
+
+    return {
+        "path": graphs.path_graph,
+        "cycle": lambda n: graphs.cycle_graph(max(3, n)),
+        "k2": lambda n: graphs.k2(),
+        "complete": graphs.complete_graph,
+        "tree": lambda n: graphs.complete_binary_tree(max(1, n)),
+        "petersen": lambda n: graphs.petersen_graph().canonically_labelled(),
+        "debruijn": lambda n: graphs.de_bruijn_graph(max(2, n)),
+    }
+
+
+@dataclass(frozen=True)
+class WorkloadCell:
+    """One benchmark cell: a factor family at size ``n``, dimensions ``r``,
+    on one backend (``lattice`` = modelled costs, ``machine`` = measured)."""
+
+    family: str
+    n: int
+    r: int
+    backend: str
+
+    @property
+    def key(self) -> str:
+        """Stable identifier used to match cells across snapshots."""
+        return f"{self.family}-n{self.n}-r{self.r}-{self.backend}"
+
+    def build_factor(self):
+        builders = _factor_builders()
+        if self.family not in builders:
+            raise ValueError(f"unknown factor family {self.family!r}")
+        return builders[self.family](self.n)
+
+
+#: the canonical matrix: §5 families at small sizes, r in {2, 3, 4}, both
+#: backends — wide enough to regress on, small enough for every CI run
+DEFAULT_MATRIX: tuple[WorkloadCell, ...] = (
+    WorkloadCell("path", 3, 2, "lattice"),
+    WorkloadCell("path", 3, 3, "lattice"),
+    WorkloadCell("path", 4, 3, "lattice"),
+    WorkloadCell("cycle", 4, 3, "lattice"),
+    WorkloadCell("k2", 2, 4, "lattice"),
+    WorkloadCell("k2", 2, 2, "machine"),
+    WorkloadCell("k2", 2, 3, "machine"),
+    WorkloadCell("k2", 2, 4, "machine"),
+    WorkloadCell("path", 3, 3, "machine"),
+)
+
+
+# ----------------------------------------------------------------------
+# running cells
+# ----------------------------------------------------------------------
+
+def run_cell(cell: WorkloadCell, seed: int = 0) -> dict[str, Any]:
+    """Execute one cell under full telemetry and flatten it to a record."""
+    from ..core.lattice_sort import ProductNetworkSorter
+    from ..core.machine_sort import MachineSorter
+    from ..orders import lattice_to_sequence
+    from .critical_path import conformance_report
+    from .tracer import Tracer
+
+    factor = cell.build_factor()
+    rng = np.random.default_rng(seed)
+    tracer = Tracer()
+    traffic = None
+
+    t0 = time.perf_counter()
+    if cell.backend == "machine":
+        sorter = MachineSorter.for_factor(factor, cell.r)
+        keys = rng.integers(0, 2**31, size=sorter.network.num_nodes)
+        machine, ledger = sorter.sort(keys, tracer=tracer)
+        seq = lattice_to_sequence(machine.lattice())
+        s2_model = routing_model = None
+        comparisons = int(machine.comparisons)
+        traffic = _traffic_record(sorter, keys)
+    elif cell.backend == "lattice":
+        sorter = ProductNetworkSorter.for_factor(factor, cell.r)
+        keys = rng.integers(0, 2**31, size=sorter.network.num_nodes)
+        lattice, ledger = sorter.sort_sequence(keys, tracer=tracer)
+        seq = lattice_to_sequence(lattice)
+        s2_model = sorter.sorter2d.rounds(factor.n)
+        routing_model = sorter.routing.rounds(factor.n)
+        # the lattice backend models costs, it does not count comparisons
+        comparisons = int(ledger.comparisons)
+    else:
+        raise ValueError(f"unknown backend {cell.backend!r}")
+    wall = time.perf_counter() - t0
+
+    sorted_ok = bool(np.all(np.asarray(seq)[:-1] <= np.asarray(seq)[1:]))
+    report = conformance_report(tracer, s2_model, routing_model)
+    span_count = sum(1 for _ in tracer.iter_spans())
+
+    record: dict[str, Any] = {
+        "cell": cell.key,
+        "family": cell.family,
+        "factor": factor.name,
+        "n": factor.n,
+        "r": cell.r,
+        "backend": cell.backend,
+        "keys": int(np.asarray(seq).size),
+        "seed": seed,
+        "sorted_ok": sorted_ok,
+        "metrics": {
+            "total_rounds": ledger.total_rounds,
+            "s2_rounds": ledger.s2_rounds,
+            "routing_rounds": ledger.routing_rounds,
+            "s2_calls": ledger.s2_calls,
+            "routing_calls": ledger.routing_calls,
+            "comparisons": comparisons,
+            "span_count": span_count,
+            "wall_time_s": wall,
+        },
+        "phases": [
+            {
+                "name": p.name,
+                "kind": p.kind,
+                "count": p.count,
+                "rounds": p.rounds,
+                "comparisons": p.comparisons,
+            }
+            for p in report.phases
+        ],
+        "conformance": {
+            "ok": report.ok,
+            "theorem1_calls_ok": report.theorem1_calls_ok,
+            "theorem1_rounds_ok": report.theorem1_rounds_ok,
+            "matches_model": report.matches_model,
+            "predicted_total_rounds": report.predicted_total_rounds,
+            "model_total_rounds": report.model_total_rounds,
+            "vacuous_routing_spans": report.vacuous_routing_spans,
+            "deviations": report.deviations,
+        },
+    }
+    if traffic is not None:
+        record["traffic"] = traffic
+    return record
+
+
+def _traffic_record(sorter, keys) -> dict[str, Any]:
+    """Re-run the machine sort with a traffic recorder riding the event bus
+    (the schedule is oblivious, so the second run's traffic is identical)."""
+    from ..machine.stats import TrafficRecorder
+    from .events import EventBus, TrafficSubscriber
+    from .timeline import MachineTimeline
+
+    recorder = TrafficRecorder(sorter.network)
+    bus = EventBus()
+    bus.subscribe(TrafficSubscriber(recorder))
+    sorter.sort(keys, timeline=MachineTimeline(sorter.network, bus=bus))
+    stats = recorder.stats()
+    return {
+        "operations": stats.operations,
+        "pair_count": stats.pair_count,
+        "mean_parallelism": stats.mean_parallelism,
+        "peak_node_utilisation": stats.peak_node_utilisation,
+        "adjacent_pairs": stats.adjacent_pairs,
+        "routed_pairs": stats.routed_pairs,
+        "dimension_ops": {str(d): c for d, c in sorted(stats.dimension_ops.items())},
+    }
+
+
+def run_matrix(
+    cells: tuple[WorkloadCell, ...] = DEFAULT_MATRIX,
+    seed: int = 0,
+    label: str = "local",
+) -> dict[str, Any]:
+    """Run every cell and assemble the schema-versioned snapshot document."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "created": time.time(),
+        "seed": seed,
+        "cells": [run_cell(cell, seed=seed) for cell in cells],
+    }
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+
+def bench_path(label: str, root: str = ".") -> str:
+    """The canonical file name for a labelled snapshot."""
+    safe = "".join(c if (c.isalnum() or c in "-_") else "-" for c in label)
+    return os.path.join(root, f"BENCH_{safe}.json")
+
+
+def write_document(doc: dict[str, Any], path: str) -> str:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_document(path: str) -> dict[str, Any]:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "schema_version" not in doc:
+        raise ValueError(f"{path} is not a BENCH snapshot (no schema_version)")
+    return doc
+
+
+def find_baseline(root: str = ".", exclude: str | None = None) -> str | None:
+    """The most recent ``BENCH_*.json`` under ``root`` (by the ``created``
+    stamp inside the file), skipping ``exclude``."""
+    best_path, best_created = None, -1.0
+    for path in glob.glob(os.path.join(root, "BENCH_*.json")):
+        if exclude is not None and os.path.abspath(path) == os.path.abspath(exclude):
+            continue
+        try:
+            doc = load_document(path)
+        except (ValueError, json.JSONDecodeError):
+            continue
+        created = float(doc.get("created", 0.0))
+        if created > best_created:
+            best_path, best_created = path, created
+    return best_path
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+
+#: max tolerated relative increase per metric; ``None`` = informational only
+DEFAULT_THRESHOLDS: dict[str, float | None] = {
+    "total_rounds": 0.0,
+    "s2_rounds": 0.0,
+    "routing_rounds": 0.0,
+    "s2_calls": 0.0,
+    "routing_calls": 0.0,
+    "comparisons": 0.0,
+    "span_count": 0.0,
+    "wall_time_s": None,  # CI machines vary wildly; opt in via --wall-threshold
+}
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric of one cell, baseline vs candidate."""
+
+    cell: str
+    metric: str
+    baseline: float
+    candidate: float
+    threshold: float | None
+
+    @property
+    def regressed(self) -> bool:
+        if self.threshold is None:
+            return False
+        if self.baseline == 0:
+            return self.candidate > 0
+        return self.candidate > self.baseline * (1.0 + self.threshold)
+
+    @property
+    def improved(self) -> bool:
+        return self.candidate < self.baseline
+
+    def describe(self) -> str:
+        arrow = "REGRESSED" if self.regressed else ("improved" if self.improved else "=")
+        return f"{self.cell}: {self.metric} {self.baseline:g} -> {self.candidate:g} [{arrow}]"
+
+
+@dataclass
+class ComparisonResult:
+    """Everything ``repro bench compare`` reports."""
+
+    baseline_label: str
+    candidate_label: str
+    deltas: list[MetricDelta]
+    #: hard failures that are not metric deltas (missing cells, conformance)
+    errors: list[str]
+    #: cells present only in the candidate (informational)
+    new_cells: list[str]
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.errors
+
+    def render(self) -> str:
+        lines = [
+            f"benchmark comparison: baseline '{self.baseline_label}' -> "
+            f"candidate '{self.candidate_label}'"
+        ]
+        for err in self.errors:
+            lines.append(f"  ERROR: {err}")
+        changed = [d for d in self.deltas if d.regressed or d.improved]
+        for delta in changed:
+            lines.append("  " + delta.describe())
+        if not changed and not self.errors:
+            lines.append("  all compared metrics unchanged")
+        for cell in self.new_cells:
+            lines.append(f"  note: new cell {cell} (no baseline)")
+        lines.append(
+            f"verdict: {'OK' if self.ok else 'REGRESSION'} "
+            f"({len(self.regressions)} regressed metrics, {len(self.errors)} errors)"
+        )
+        return "\n".join(lines)
+
+
+def compare_documents(
+    baseline: dict[str, Any],
+    candidate: dict[str, Any],
+    thresholds: dict[str, float | None] | None = None,
+) -> ComparisonResult:
+    """Diff two snapshots cell by cell; see :data:`DEFAULT_THRESHOLDS`."""
+    limits = dict(DEFAULT_THRESHOLDS)
+    if thresholds:
+        limits.update(thresholds)
+
+    result = ComparisonResult(
+        baseline_label=str(baseline.get("label", "?")),
+        candidate_label=str(candidate.get("label", "?")),
+        deltas=[],
+        errors=[],
+        new_cells=[],
+    )
+    if baseline.get("schema_version") != candidate.get("schema_version"):
+        result.errors.append(
+            f"schema mismatch: baseline v{baseline.get('schema_version')} vs "
+            f"candidate v{candidate.get('schema_version')} — re-bless the baseline"
+        )
+        return result
+
+    base_cells = {c["cell"]: c for c in baseline.get("cells", [])}
+    cand_cells = {c["cell"]: c for c in candidate.get("cells", [])}
+
+    for key in base_cells:
+        if key not in cand_cells:
+            result.errors.append(f"cell {key} missing from candidate")
+    result.new_cells = [key for key in cand_cells if key not in base_cells]
+
+    for key, cand in cand_cells.items():
+        if not cand.get("sorted_ok", False):
+            result.errors.append(f"cell {key}: candidate output UNSORTED")
+        conf = cand.get("conformance", {})
+        if not conf.get("ok", False):
+            detail = "; ".join(conf.get("deviations", [])) or "unspecified"
+            result.errors.append(f"cell {key}: conformance failed ({detail})")
+        base = base_cells.get(key)
+        if base is None:
+            continue
+        for metric, threshold in limits.items():
+            if metric not in cand.get("metrics", {}) or metric not in base.get("metrics", {}):
+                continue
+            result.deltas.append(
+                MetricDelta(
+                    cell=key,
+                    metric=metric,
+                    baseline=float(base["metrics"][metric]),
+                    candidate=float(cand["metrics"][metric]),
+                    threshold=threshold,
+                )
+            )
+    return result

@@ -39,8 +39,11 @@ __all__ = [
 
 
 def _roots(source: Tracer | Iterable[Span]) -> list[Span]:
-    if isinstance(source, Tracer):
-        return list(source.roots)
+    # any tracer-shaped object (Tracer, NullTracer) exposes .roots; a bare
+    # iterable of spans is taken as the roots themselves
+    roots = getattr(source, "roots", None)
+    if roots is not None:
+        return list(roots)
     return list(source)
 
 
@@ -251,8 +254,9 @@ def phase_summary(source: Tracer | Iterable[Span], timeline: MachineTimeline | N
     if timeline is not None:
         s = timeline.summary()
         lines.append("")
+        dropped = f" ({s['dropped_steps']} dropped)" if s.get("dropped_steps") else ""
         lines.append(
-            f"machine: {s['steps']} super-steps, {s['rounds']} rounds, "
+            f"machine: {s['steps']} super-steps{dropped}, {s['rounds']} rounds, "
             f"mean parallelism {s['mean_parallelism']:.1f} pairs/step, "
             f"peak utilisation {s['peak_utilisation']:.0%}, "
             f"{s['routed_steps']} routed steps"

@@ -1,0 +1,341 @@
+"""Metrics registry: counters, gauges and histograms over the event bus.
+
+Where the span tree (:mod:`repro.observability.tracer`) keeps the *shape* of
+a run and the timeline (:mod:`repro.observability.timeline`) keeps its raw
+super-steps, this module turns a run into *tracked numbers*: a
+:class:`MetricsRegistry` of named instruments that a
+:class:`MetricsSubscriber` feeds from the same
+:class:`~repro.observability.events.EventBus` every other consumer rides.
+
+Three instrument types, mirroring the Prometheus data model:
+
+:class:`Counter`
+    monotonically increasing totals (spans seen, rounds charged,
+    comparisons performed, machine super-steps executed);
+:class:`Gauge`
+    last-observed values (current utilisation, open span depth);
+:class:`Histogram`
+    bucketed distributions (pairs engaged per super-step, span wall time).
+
+Every instrument supports label sets (``counter.labels(kind="s2")``), and
+the registry exports two ways:
+
+* :meth:`MetricsRegistry.expose_text` — Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` / sample lines), scrape-ready;
+* :meth:`MetricsRegistry.snapshot` — a plain JSON-safe dict, the form the
+  benchmark harness (:mod:`repro.observability.benchreg`) persists.
+
+Attach to a run with::
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    tracer.bus.subscribe(MetricsSubscriber(registry))
+    sorter.sort(keys, tracer=tracer)
+    print(registry.expose_text())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .events import TraceEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSubscriber",
+]
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _labels_key(labels: dict[str, Any]) -> Labels:
+    """Canonical, hashable form of a label set (sorted, stringified)."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: Labels) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    """Shared plumbing: name, help text and a per-label-set series map."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name or not name.replace("_", "a").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self._series: dict[Labels, Any] = {}
+
+    def labels(self, **labels: Any) -> Labels:
+        """Canonicalise a label set, creating the series if new."""
+        key = _labels_key(labels)
+        if key not in self._series:
+            self._series[key] = self._new_series()
+        return key
+
+    def _new_series(self) -> Any:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def series(self) -> Iterator[tuple[Labels, Any]]:
+        """Every (label set, value) pair, in insertion order."""
+        return iter(self._series.items())
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total, per label set."""
+
+    kind = "counter"
+
+    def _new_series(self) -> float:
+        return 0
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self.labels(**labels)
+        self._series[key] += amount
+
+    def value(self, **labels: Any) -> float:
+        """Current total of the labelled series (0 if never incremented)."""
+        return self._series.get(_labels_key(labels), 0)
+
+
+class Gauge(_Instrument):
+    """A point-in-time value that can move both ways, per label set."""
+
+    kind = "gauge"
+
+    def _new_series(self) -> float:
+        return 0
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Replace the labelled series' value."""
+        self._series[self.labels(**labels)] = value
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        key = self.labels(**labels)
+        self._series[key] += amount
+
+    def dec(self, amount: float = 1, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        return self._series.get(_labels_key(labels), 0)
+
+
+#: default histogram buckets: powers of two up to 4096 — right for the
+#: pair-count and round-count scales the sorter produces
+DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "count", "total")
+
+    def __init__(self, nbuckets: int) -> None:
+        self.bucket_counts = [0] * (nbuckets + 1)  # +1 for +Inf
+        self.count = 0
+        self.total = 0.0
+
+
+class Histogram(_Instrument):
+    """A bucketed distribution with cumulative Prometheus semantics."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.buckets = tuple(buckets)
+
+    def _new_series(self) -> _HistogramSeries:
+        return _HistogramSeries(len(self.buckets))
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation in the labelled series."""
+        series = self._series[self.labels(**labels)]
+        series.count += 1
+        series.total += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                series.bucket_counts[i] += 1
+                return
+        series.bucket_counts[-1] += 1
+
+    def snapshot_series(self, **labels: Any) -> dict[str, Any]:
+        """Count / sum / per-bucket cumulative counts of one series."""
+        series = self._series.get(_labels_key(labels))
+        if series is None:
+            return {"count": 0, "sum": 0.0, "buckets": {}}
+        return self._series_dict(series)
+
+    def _series_dict(self, series: _HistogramSeries) -> dict[str, Any]:
+        cumulative = 0
+        buckets: dict[str, int] = {}
+        for bound, n in zip(self.buckets, series.bucket_counts):
+            cumulative += n
+            buckets[str(bound)] = cumulative
+        buckets["+Inf"] = cumulative + series.bucket_counts[-1]
+        return {"count": series.count, "sum": series.total, "buckets": buckets}
+
+
+class MetricsRegistry:
+    """Namespace of instruments with idempotent creation and two exports.
+
+    ``counter``/``gauge``/``histogram`` return the existing instrument when
+    called again with the same name (so instrumentation sites don't need to
+    coordinate), and raise if the name is already taken by a different
+    instrument type.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls: type, name: str, help: str, **kwargs: Any) -> Any:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        instrument = cls(name, help, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        return iter(self._instruments.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    # -- exports --------------------------------------------------------
+    def expose_text(self) -> str:
+        """Prometheus text exposition format (one block per instrument)."""
+        lines: list[str] = []
+        for inst in self._instruments.values():
+            if inst.help:
+                lines.append(f"# HELP {inst.name} {inst.help}")
+            lines.append(f"# TYPE {inst.name} {inst.kind}")
+            if isinstance(inst, Histogram):
+                for key, series in inst.series():
+                    data = inst._series_dict(series)
+                    for bound, cum in data["buckets"].items():
+                        blabels = _format_labels(key + (("le", bound),))
+                        lines.append(f"{inst.name}_bucket{blabels} {cum}")
+                    lines.append(f"{inst.name}_sum{_format_labels(key)} {data['sum']:g}")
+                    lines.append(f"{inst.name}_count{_format_labels(key)} {data['count']}")
+            else:
+                for key, value in inst.series():
+                    lines.append(f"{inst.name}{_format_labels(key)} {value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe dict: instrument -> type, help and per-series values."""
+        out: dict[str, Any] = {}
+        for inst in self._instruments.values():
+            if isinstance(inst, Histogram):
+                series = [
+                    {"labels": dict(key), **inst._series_dict(s)}
+                    for key, s in inst.series()
+                ]
+            else:
+                series = [
+                    {"labels": dict(key), "value": value} for key, value in inst.series()
+                ]
+            out[inst.name] = {"type": inst.kind, "help": inst.help, "series": series}
+        return out
+
+
+class MetricsSubscriber:
+    """Feeds a :class:`MetricsRegistry` from the unified event bus.
+
+    One subscriber covers both telemetry sources: tracer events
+    (``span_start`` / ``span_end`` / ``point``) and machine events
+    (``machine_step``).  The instruments it maintains:
+
+    ==============================  =========  =================================
+    metric                          type       meaning
+    ==============================  =========  =================================
+    ``repro_spans_total``           counter    span_end events by name and kind
+    ``repro_rounds_total``          counter    rounds charged, by charge kind
+    ``repro_comparisons_total``     counter    comparisons, by charge kind
+    ``repro_span_depth``            gauge      currently open spans
+    ``repro_span_seconds``          histogram  span wall time (seconds)
+    ``repro_points_total``          counter    point events by name
+    ``repro_machine_steps_total``   counter    compare-exchange super-steps
+    ``repro_machine_pairs_total``   counter    node pairs engaged, total
+    ``repro_machine_pairs``         histogram  pairs engaged per super-step
+    ``repro_machine_utilisation``   gauge      last observed step utilisation
+    ==============================  =========  =================================
+    """
+
+    #: sub-second buckets for span wall time (simulation phases are fast)
+    TIME_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._spans = r.counter("repro_spans_total", "phase spans closed, by name and charge kind")
+        self._rounds = r.counter("repro_rounds_total", "synchronous rounds charged, by charge kind")
+        self._comparisons = r.counter("repro_comparisons_total", "key comparisons, by charge kind")
+        self._depth = r.gauge("repro_span_depth", "currently open spans")
+        self._seconds = r.histogram(
+            "repro_span_seconds", "span wall time in seconds", buckets=self.TIME_BUCKETS
+        )
+        self._points = r.counter("repro_points_total", "instantaneous point events, by name")
+        self._steps = r.counter("repro_machine_steps_total", "machine compare-exchange super-steps")
+        self._pairs_total = r.counter("repro_machine_pairs_total", "node pairs engaged in super-steps")
+        self._pairs = r.histogram("repro_machine_pairs", "node pairs engaged per super-step")
+        self._util = r.gauge("repro_machine_utilisation", "fraction of nodes busy, last super-step")
+        self._open_starts: dict[int, float] = {}
+
+    def on_event(self, event: TraceEvent) -> None:
+        if event.kind == "span_start":
+            self._depth.inc()
+            if event.span_id is not None:
+                self._open_starts[event.span_id] = event.time
+        elif event.kind == "span_end":
+            self._depth.dec()
+            kind = str(event.attrs.get("kind", "")) or "structural"
+            self._spans.inc(name=event.name, kind=kind)
+            rounds = int(event.attrs.get("rounds", 0))
+            if rounds:
+                self._rounds.inc(rounds, kind=kind)
+            comparisons = int(event.attrs.get("comparisons", 0))
+            if comparisons:
+                self._comparisons.inc(comparisons, kind=kind)
+            start = self._open_starts.pop(event.span_id, None)
+            if start is not None:
+                self._seconds.observe(max(event.time - start, 0.0))
+        elif event.kind == "point":
+            self._points.inc(name=event.name)
+        elif event.kind == "machine_step":
+            pairs = len(event.attrs.get("pairs", ()))
+            self._steps.inc()
+            self._pairs_total.inc(pairs)
+            self._pairs.observe(pairs)
+            utilisation = event.attrs.get("utilisation")
+            if utilisation is not None:
+                self._util.set(float(utilisation))

@@ -18,6 +18,7 @@ unified spine instead of a direct machine attribute (see
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from .events import EventBus, TraceEvent, clock
@@ -60,12 +61,26 @@ class MachineTimeline:
         optional :class:`EventBus`; when given and active, each recorded
         step is also published as a ``machine_step`` event carrying the raw
         pair list.
+    max_steps:
+        opt-in memory bound: when set, only the most recent ``max_steps``
+        steps are retained (a ring buffer) and older ones are dropped,
+        counted in :attr:`dropped_steps`.  Step indices stay absolute, so a
+        truncated export is recognisable by its first ``index`` > 0.
+        Dropped steps still reach the bus before being forgotten.
     """
 
-    def __init__(self, network, bus: EventBus | None = None) -> None:
+    def __init__(self, network, bus: EventBus | None = None, max_steps: int | None = None) -> None:
+        if max_steps is not None and max_steps < 1:
+            raise ValueError("max_steps must be a positive integer (or None)")
         self.network = network
         self.bus = bus
-        self.steps: list[MachineStep] = []
+        self.max_steps = max_steps
+        self.steps: "list[MachineStep] | deque[MachineStep]" = (
+            [] if max_steps is None else deque(maxlen=max_steps)
+        )
+        #: steps evicted by the ring buffer since the last :meth:`reset`
+        self.dropped_steps = 0
+        self._recorded = 0
 
     def record(self, pairs: list[tuple[Label, Label]], cost: int) -> None:
         """Observe one super-step (called by the machine)."""
@@ -82,7 +97,7 @@ class MachineTimeline:
                 adjacent = False
         nodes = self.network.num_nodes
         step = MachineStep(
-            index=len(self.steps),
+            index=self._recorded,
             pairs=len(pairs),
             rounds=cost,
             dimension=dims.pop() if len(dims) == 1 else None,
@@ -90,6 +105,9 @@ class MachineTimeline:
             utilisation=(2 * len(pairs) / nodes) if nodes else 0.0,
             time=clock(),
         )
+        self._recorded += 1
+        if self.max_steps is not None and len(self.steps) == self.max_steps:
+            self.dropped_steps += 1
         self.steps.append(step)
         if self.bus is not None and self.bus.active:
             self.bus.publish(
@@ -103,14 +121,19 @@ class MachineTimeline:
                         "rounds": cost,
                         "dimension": step.dimension,
                         "adjacent": adjacent,
+                        "utilisation": step.utilisation,
                     },
                 )
             )
 
     # ------------------------------------------------------------------
     def summary(self) -> dict:
-        """Aggregate view: totals plus per-dimension step/pair counts."""
-        steps = self.steps
+        """Aggregate view: totals plus per-dimension step/pair counts.
+
+        With a ring buffer active the aggregates cover only the retained
+        steps; ``dropped_steps`` says how many older ones were evicted.
+        """
+        steps = list(self.steps)
         per_dim_steps: dict[int, int] = {}
         per_dim_pairs: dict[int, int] = {}
         for s in steps:
@@ -127,8 +150,11 @@ class MachineTimeline:
             "routed_steps": sum(1 for s in steps if not s.adjacent),
             "dimension_steps": dict(sorted(per_dim_steps.items())),
             "dimension_pairs": dict(sorted(per_dim_pairs.items())),
+            "dropped_steps": self.dropped_steps,
         }
 
     def reset(self) -> None:
         """Forget everything (reuse across runs)."""
         self.steps.clear()
+        self.dropped_steps = 0
+        self._recorded = 0

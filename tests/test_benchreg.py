@@ -1,0 +1,279 @@
+"""Tests for the benchmark-regression harness and its CLI.
+
+Covers the workload matrix snapshot (schema, per-cell metrics and phase
+breakdowns, conformance verdicts), persistence and baseline discovery,
+threshold-gated comparison semantics, the ``repro bench`` CLI surface, and
+the committed ``BENCH_seed.json`` baseline staying reproducible.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.observability.benchreg import (
+    DEFAULT_MATRIX,
+    DEFAULT_THRESHOLDS,
+    SCHEMA_VERSION,
+    MetricDelta,
+    WorkloadCell,
+    bench_path,
+    compare_documents,
+    find_baseline,
+    load_document,
+    run_cell,
+    run_matrix,
+    write_document,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module")
+def matrix_doc():
+    """One full run of the canonical matrix, shared across this module."""
+    return run_matrix(DEFAULT_MATRIX, seed=0, label="test")
+
+
+class TestWorkloadMatrix:
+    def test_default_matrix_is_wide_enough(self):
+        # acceptance: at least 6 cells, both backends, r covering 2..4
+        assert len(DEFAULT_MATRIX) >= 6
+        assert {c.backend for c in DEFAULT_MATRIX} == {"lattice", "machine"}
+        assert {c.r for c in DEFAULT_MATRIX} >= {2, 3, 4}
+        keys = [c.key for c in DEFAULT_MATRIX]
+        assert len(keys) == len(set(keys))
+
+    def test_cell_key_is_stable(self):
+        assert WorkloadCell("path", 3, 2, "lattice").key == "path-n3-r2-lattice"
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown factor family"):
+            WorkloadCell("moebius", 3, 2, "lattice").build_factor()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_cell(WorkloadCell("path", 3, 2, "quantum"))
+
+    def test_document_schema(self, matrix_doc):
+        assert matrix_doc["schema_version"] == SCHEMA_VERSION
+        assert matrix_doc["label"] == "test"
+        assert matrix_doc["seed"] == 0
+        assert len(matrix_doc["cells"]) == len(DEFAULT_MATRIX)
+        json.dumps(matrix_doc)  # JSON-safe as-is
+
+    def test_every_cell_sorted_and_conformant(self, matrix_doc):
+        for cell in matrix_doc["cells"]:
+            assert cell["sorted_ok"], cell["cell"]
+            conf = cell["conformance"]
+            assert conf["ok"], (cell["cell"], conf["deviations"])
+            assert conf["theorem1_calls_ok"] and conf["theorem1_rounds_ok"]
+            # closed form at measured units always equals the measurement
+            assert conf["predicted_total_rounds"] == cell["metrics"]["total_rounds"]
+
+    def test_lattice_cells_match_the_analytic_model(self, matrix_doc):
+        lattice = [c for c in matrix_doc["cells"] if c["backend"] == "lattice"]
+        assert lattice
+        for cell in lattice:
+            assert cell["conformance"]["matches_model"] is True
+            assert cell["conformance"]["model_total_rounds"] == cell["metrics"]["total_rounds"]
+
+    def test_per_cell_metrics_and_phase_breakdown(self, matrix_doc):
+        for cell in matrix_doc["cells"]:
+            m = cell["metrics"]
+            r = cell["r"]
+            assert m["s2_calls"] == (r - 1) ** 2
+            assert m["routing_calls"] == (r - 1) * (r - 2)
+            assert m["total_rounds"] == m["s2_rounds"] + m["routing_rounds"]
+            assert m["span_count"] > 0 and m["wall_time_s"] >= 0
+            # phases partition the charged rounds and span population
+            assert sum(p["rounds"] for p in cell["phases"]) == m["total_rounds"]
+            assert sum(p["count"] for p in cell["phases"]) == m["span_count"]
+
+    def test_machine_cells_carry_traffic_and_comparisons(self, matrix_doc):
+        machine = [c for c in matrix_doc["cells"] if c["backend"] == "machine"]
+        assert machine
+        for cell in machine:
+            assert cell["metrics"]["comparisons"] > 0
+            traffic = cell["traffic"]
+            assert traffic["operations"] > 0 and traffic["pair_count"] > 0
+            assert 0 < traffic["peak_node_utilisation"] <= 1.0
+        lattice = [c for c in matrix_doc["cells"] if c["backend"] == "lattice"]
+        assert all("traffic" not in c for c in lattice)
+
+    def test_structural_metrics_are_deterministic(self):
+        a = run_cell(WorkloadCell("path", 3, 2, "lattice"), seed=0)
+        b = run_cell(WorkloadCell("path", 3, 2, "lattice"), seed=1)
+        for metric in ("total_rounds", "s2_rounds", "s2_calls", "span_count"):
+            assert a["metrics"][metric] == b["metrics"][metric]
+
+
+class TestPersistence:
+    def test_write_load_round_trip(self, matrix_doc, tmp_path):
+        path = write_document(matrix_doc, str(tmp_path / "BENCH_x.json"))
+        assert load_document(path) == json.loads(json.dumps(matrix_doc))
+
+    def test_bench_path_sanitises_label(self, tmp_path):
+        assert bench_path("pr 7/fix", str(tmp_path)) == str(tmp_path / "BENCH_pr-7-fix.json")
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "BENCH_bogus.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="schema_version"):
+            load_document(str(path))
+
+    def test_find_baseline_latest_by_created(self, matrix_doc, tmp_path):
+        old = dict(matrix_doc, created=100.0, label="old")
+        new = dict(matrix_doc, created=200.0, label="new")
+        write_document(old, str(tmp_path / "BENCH_old.json"))
+        newest = write_document(new, str(tmp_path / "BENCH_new.json"))
+        (tmp_path / "BENCH_junk.json").write_text("not json")
+        assert find_baseline(str(tmp_path)) == newest
+        assert find_baseline(str(tmp_path), exclude=newest) == str(tmp_path / "BENCH_old.json")
+        assert find_baseline(str(tmp_path / "empty")) is None
+
+
+class TestComparison:
+    def test_identical_documents_are_ok(self, matrix_doc):
+        result = compare_documents(matrix_doc, copy.deepcopy(matrix_doc))
+        assert result.ok and not result.regressions and not result.errors
+        assert "all compared metrics unchanged" in result.render()
+
+    def test_structural_regression_detected(self, matrix_doc):
+        worse = copy.deepcopy(matrix_doc)
+        worse["cells"][0]["metrics"]["total_rounds"] += 1
+        result = compare_documents(matrix_doc, worse)
+        assert not result.ok
+        assert [d.metric for d in result.regressions] == ["total_rounds"]
+        assert "REGRESSED" in result.render()
+
+    def test_improvement_is_not_a_regression(self, matrix_doc):
+        better = copy.deepcopy(matrix_doc)
+        better["cells"][0]["metrics"]["total_rounds"] -= 1
+        result = compare_documents(matrix_doc, better)
+        assert result.ok
+        assert "improved" in result.render()
+
+    def test_wall_time_informational_unless_opted_in(self, matrix_doc):
+        slow = copy.deepcopy(matrix_doc)
+        for cell in slow["cells"]:
+            cell["metrics"]["wall_time_s"] *= 100
+        assert compare_documents(matrix_doc, slow).ok
+        gated = compare_documents(matrix_doc, slow, thresholds={"wall_time_s": 1.0})
+        assert not gated.ok
+        assert all(d.metric == "wall_time_s" for d in gated.regressions)
+
+    def test_missing_cell_is_an_error(self, matrix_doc):
+        partial = copy.deepcopy(matrix_doc)
+        dropped = partial["cells"].pop()
+        result = compare_documents(matrix_doc, partial)
+        assert not result.ok
+        assert any(dropped["cell"] in e and "missing" in e for e in result.errors)
+
+    def test_new_cell_is_informational(self, matrix_doc):
+        grown = copy.deepcopy(matrix_doc)
+        extra = copy.deepcopy(grown["cells"][0])
+        extra["cell"] = "newfam-n9-r2-lattice"
+        grown["cells"].append(extra)
+        result = compare_documents(matrix_doc, grown)
+        assert result.ok and result.new_cells == ["newfam-n9-r2-lattice"]
+
+    def test_unsorted_candidate_is_an_error(self, matrix_doc):
+        broken = copy.deepcopy(matrix_doc)
+        broken["cells"][0]["sorted_ok"] = False
+        result = compare_documents(matrix_doc, broken)
+        assert any("UNSORTED" in e for e in result.errors)
+
+    def test_nonconformant_candidate_is_an_error(self, matrix_doc):
+        broken = copy.deepcopy(matrix_doc)
+        broken["cells"][0]["conformance"]["ok"] = False
+        broken["cells"][0]["conformance"]["deviations"] = ["Theorem 1 violated: test"]
+        result = compare_documents(matrix_doc, broken)
+        assert any("Theorem 1 violated" in e for e in result.errors)
+
+    def test_schema_mismatch_is_an_error(self, matrix_doc):
+        future = dict(copy.deepcopy(matrix_doc), schema_version=SCHEMA_VERSION + 1)
+        result = compare_documents(matrix_doc, future)
+        assert not result.ok
+        assert any("schema mismatch" in e for e in result.errors)
+        assert not result.deltas  # no point diffing incomparable layouts
+
+    def test_zero_baseline_regresses_on_any_growth(self):
+        delta = MetricDelta("c", "m", baseline=0, candidate=1, threshold=0.0)
+        assert delta.regressed
+        assert not MetricDelta("c", "m", 0, 0, 0.0).regressed
+        assert not MetricDelta("c", "m", 5, 50, None).regressed  # unthresholded
+
+    def test_default_thresholds_gate_structure_not_wall_time(self):
+        assert DEFAULT_THRESHOLDS["total_rounds"] == 0.0
+        assert DEFAULT_THRESHOLDS["wall_time_s"] is None
+
+
+class TestBenchCli:
+    def test_bench_run_writes_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_t.json"
+        assert main(["bench", "run", "--label", "t", "--out", str(out)]) == 0
+        doc = load_document(str(out))
+        assert doc["label"] == "t" and len(doc["cells"]) == len(DEFAULT_MATRIX)
+        stdout = capsys.readouterr().out
+        assert "schema v1" in stdout and "conformance=ok" in stdout
+
+    def test_bench_compare_same_file_ok(self, tmp_path, capsys, matrix_doc):
+        path = write_document(matrix_doc, str(tmp_path / "BENCH_t.json"))
+        assert main(["bench", "compare", "--baseline", path, "--candidate", path]) == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+    def test_bench_compare_exits_nonzero_on_regression(self, tmp_path, capsys, matrix_doc):
+        base = write_document(matrix_doc, str(tmp_path / "BENCH_base.json"))
+        worse = copy.deepcopy(matrix_doc)
+        worse["cells"][0]["metrics"]["comparisons"] += 10
+        cand = write_document(worse, str(tmp_path / "BENCH_cand.json"))
+        assert main(["bench", "compare", "--baseline", base, "--candidate", cand]) == 1
+        assert "verdict: REGRESSION" in capsys.readouterr().out
+
+    def test_bench_compare_json_output(self, tmp_path, capsys, matrix_doc):
+        path = write_document(matrix_doc, str(tmp_path / "BENCH_t.json"))
+        assert main(
+            ["bench", "compare", "--baseline", path, "--candidate", path, "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True and doc["regressions"] == []
+        assert {d["metric"] for d in doc["deltas"]} >= {"total_rounds", "comparisons"}
+
+    def test_bench_compare_without_baseline_exits_2(self, tmp_path, capsys, matrix_doc, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cand = write_document(matrix_doc, str(tmp_path / "BENCH_only.json"))
+        assert main(["bench", "compare", "--candidate", cand]) == 2
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_bench_metrics_prometheus(self, capsys):
+        assert main(["bench", "metrics", "--factor", "k2", "--r", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_spans_total counter" in out
+        assert "repro_machine_steps_total" in out
+
+    def test_bench_metrics_json(self, capsys):
+        assert main(["bench", "metrics", "--factor", "path", "--n", "3", "--r", "2",
+                     "--format", "json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["repro_spans_total"]["type"] == "counter"
+
+
+class TestCommittedBaseline:
+    """The blessed BENCH_seed.json must stay loadable and reproducible."""
+
+    def test_seed_baseline_is_valid(self):
+        path = os.path.join(REPO_ROOT, "BENCH_seed.json")
+        doc = load_document(path)
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["label"] == "seed"
+        assert len(doc["cells"]) >= 6
+
+    def test_fresh_run_does_not_regress_the_seed(self, matrix_doc):
+        baseline = load_document(os.path.join(REPO_ROOT, "BENCH_seed.json"))
+        result = compare_documents(baseline, matrix_doc)
+        assert result.ok, result.render()

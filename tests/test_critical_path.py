@@ -1,0 +1,224 @@
+"""Tests for the critical-path model-conformance analyzer.
+
+The acceptance bar: for every workload the analyzer's per-run totals must
+equal the paper's closed forms — Theorem 1's ``S_r = (r-1)^2 S_2 +
+(r-1)(r-2) R`` for the whole run and Lemma 3's ``M_k = 2(k-2)(S_2+R) +
+S_2`` for every merge level — asserted here for r in {2, 3, 4} on both
+backends, plus deviation detection on deliberately tampered span trees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import (
+    merge_routing_calls,
+    merge_s2_calls,
+    sort_routing_calls,
+    sort_rounds,
+    sort_s2_calls,
+)
+from repro.core.lattice_sort import ProductNetworkSorter
+from repro.core.machine_sort import MachineSorter
+from repro.graphs import k2, path_graph
+from repro.observability import Tracer, conformance_report
+
+
+def _traced_lattice(factor, r, rng):
+    sorter = ProductNetworkSorter.for_factor(factor, r)
+    tracer = Tracer()
+    keys = rng.integers(0, 2**28, size=sorter.network.num_nodes)
+    sorter.sort_sequence(keys, tracer=tracer)
+    return tracer, sorter.sorter2d.rounds(factor.n), sorter.routing.rounds(factor.n)
+
+
+def _traced_machine(factor, r, rng):
+    sorter = MachineSorter.for_factor(factor, r)
+    tracer = Tracer()
+    keys = rng.integers(0, 2**28, size=sorter.network.num_nodes)
+    sorter.sort(keys, tracer=tracer)
+    return tracer
+
+
+class TestClosedFormsLattice:
+    """Lattice backend charges the analytic model exactly — the analyzer
+    must reproduce Theorem 1 / Lemma 3 to the round, for r in {2, 3, 4}."""
+
+    @pytest.mark.parametrize("r", [2, 3, 4])
+    def test_theorem1_exact(self, r, rng):
+        tracer, s2, routing = _traced_lattice(path_graph(3), r, rng)
+        report = conformance_report(tracer, s2, routing)
+        assert report.ok, report.deviations
+        assert report.backend == "lattice" and report.r == r
+        assert report.s2_spans == sort_s2_calls(r) == (r - 1) ** 2
+        assert report.routing_spans == sort_routing_calls(r) == (r - 1) * (r - 2)
+        assert report.vacuous_routing_spans == 0
+        # the headline: measured total == (r-1)^2 S2 + (r-1)(r-2) R
+        assert report.measured_total_rounds == sort_rounds(r, s2, routing)
+        assert report.model_total_rounds == sort_rounds(r, s2, routing)
+        assert report.theorem1_calls_ok and report.theorem1_rounds_ok
+        assert report.matches_model is True
+        # uniform unit costs, equal to the model's
+        assert report.s2_unit_rounds == (s2,)
+        if r > 2:
+            assert report.routing_unit_rounds == (routing,)
+
+    @pytest.mark.parametrize("r", [3, 4])
+    def test_lemma3_every_merge_level(self, r, rng):
+        tracer, s2, routing = _traced_lattice(path_graph(3), r, rng)
+        report = conformance_report(tracer, s2, routing)
+        # every dimension 3..r merges somewhere in the recursion (nested
+        # merges of lower dimensions recur, e.g. dim 3 under both the
+        # initial recursive sort and the dim-4 merge's columns)
+        assert {m.dim for m in report.merge_levels} == set(range(3, r + 1))
+        assert sum(1 for m in report.merge_levels if m.dim == r) == 1
+        for level in report.merge_levels:
+            k = level.dim
+            assert level.s2_spans == merge_s2_calls(k) == 2 * (k - 2) + 1
+            assert level.routing_spans == merge_routing_calls(k) == 2 * (k - 2)
+            # Lemma 3: M_k = 2(k-2)(S2+R) + S2
+            assert level.measured_rounds == 2 * (k - 2) * (s2 + routing) + s2
+            assert level.ok
+
+
+class TestClosedFormsMachine:
+    """Machine backend: measured unit costs, vacuous transpositions charge
+    zero — the closed form must still hold at the observed units."""
+
+    @pytest.mark.parametrize("r", [2, 3, 4])
+    def test_theorem1_at_measured_units(self, r, rng):
+        tracer = _traced_machine(k2(), r, rng)
+        report = conformance_report(tracer)
+        assert report.ok, report.deviations
+        assert report.backend == "machine"
+        assert report.s2_spans == sort_s2_calls(r)
+        assert report.routing_spans == sort_routing_calls(r)
+        # hypercube: parity-1 transposition of a 2-block merge is vacuous
+        assert report.vacuous_routing_spans == max(r - 2, 0)
+        assert len(report.s2_unit_rounds) == 1
+        s2_unit = report.s2_unit_rounds[0]
+        routing_unit = report.routing_unit_rounds[0] if report.routing_unit_rounds else 0
+        live = report.routing_spans - report.vacuous_routing_spans
+        assert report.measured_total_rounds == (
+            sort_s2_calls(r) * s2_unit + live * routing_unit
+        )
+        assert report.theorem1_rounds_ok
+        # no model supplied: model cross-check stays open
+        assert report.model_total_rounds is None and report.matches_model is None
+
+    @pytest.mark.parametrize("r", [3, 4])
+    def test_lemma3_call_structure(self, r, rng):
+        tracer = _traced_machine(k2(), r, rng)
+        report = conformance_report(tracer)
+        assert {m.dim for m in report.merge_levels} == set(range(3, r + 1))
+        for level in report.merge_levels:
+            assert level.calls_ok and level.rounds_ok
+
+    def test_non_hypercube_machine_conforms(self, rng):
+        tracer = _traced_machine(path_graph(3), 3, rng)
+        report = conformance_report(tracer)
+        assert report.ok, report.deviations
+        assert report.vacuous_routing_spans == 0  # 3 blocks: nothing vacuous
+
+
+class TestPhaseBreakdown:
+    def test_phases_partition_the_rounds(self, rng):
+        tracer, s2, routing = _traced_lattice(path_graph(3), 3, rng)
+        report = conformance_report(tracer, s2, routing)
+        assert sum(p.rounds for p in report.phases) == report.measured_total_rounds
+        assert sum(p.count for p in report.phases) == sum(1 for _ in tracer.iter_spans())
+        by_name = {p.name: p for p in report.phases}
+        assert by_name["transposition"].kind == "routing"
+        assert by_name["transposition"].count == sort_routing_calls(3)
+
+    def test_as_dict_round_trips_json_safe(self, rng):
+        import json
+
+        tracer, s2, routing = _traced_lattice(path_graph(3), 3, rng)
+        doc = json.loads(json.dumps(conformance_report(tracer, s2, routing).as_dict()))
+        assert doc["ok"] is True
+        assert doc["s2_spans"] == 4
+        assert doc["merge_levels"][0]["dim"] == 3
+        assert doc["phases"]
+
+
+class TestDeviationDetection:
+    """Tampered span trees must be flagged, not silently accepted."""
+
+    def _root(self, tracer, r=3, backend="machine"):
+        return tracer.span("sort", backend=backend, factor="k2", n=2, r=r)
+
+    def test_missing_s2_span_flags_theorem1(self):
+        tracer = Tracer()
+        with self._root(tracer):  # r=3 needs 4 s2 + 2 routing spans
+            for _ in range(3):
+                with tracer.span("block-sorts", kind="s2", rounds=3):
+                    pass
+            for _ in range(2):
+                with tracer.span("transposition", kind="routing", rounds=1, pairs=4):
+                    pass
+        report = conformance_report(tracer)
+        assert not report.theorem1_calls_ok
+        assert any("Theorem 1 violated" in d for d in report.deviations)
+
+    def test_non_uniform_s2_costs_flagged(self):
+        tracer = Tracer()
+        with self._root(tracer, r=2):
+            with tracer.span("a", kind="s2", rounds=3):
+                pass
+            with tracer.span("b", kind="s2", rounds=5):
+                pass
+        report = conformance_report(tracer)
+        assert any("not uniform" in d for d in report.deviations)
+
+    def test_closed_form_mismatch_flagged(self):
+        tracer = Tracer()
+        with self._root(tracer, r=2) as root:
+            with tracer.span("a", kind="s2", rounds=3):
+                pass
+            root.set(rounds=7)  # extra rounds charged outside any s2/routing span
+        report = conformance_report(tracer)
+        assert report.measured_total_rounds == 10
+        assert not report.theorem1_rounds_ok
+        assert any("closed form violated" in d for d in report.deviations)
+
+    def test_lattice_unit_cost_disagreeing_with_model_flagged(self):
+        tracer = Tracer()
+        with self._root(tracer, r=2, backend="lattice"):
+            with tracer.span("a", kind="s2", rounds=3):
+                pass
+        report = conformance_report(tracer, s2_model_rounds=4, routing_model_rounds=1)
+        assert any("lattice backend charged S2" in d for d in report.deviations)
+        assert report.matches_model is False
+
+    def test_lemma3_violation_flagged(self):
+        tracer = Tracer()
+        with self._root(tracer, r=3):
+            for _ in range(4):
+                with tracer.span("s", kind="s2", rounds=3):
+                    pass
+            for _ in range(2):
+                with tracer.span("t", kind="routing", rounds=1, pairs=4):
+                    pass
+            with tracer.span("merge", dim=3):  # empty merge subtree: 0 of each
+                pass
+        report = conformance_report(tracer)
+        assert any("Lemma 3 violated at dim 3" in d for d in report.deviations)
+
+    def test_unusable_r_reported(self):
+        tracer = Tracer()
+        with tracer.span("sort", backend="machine"):
+            pass
+        report = conformance_report(tracer)
+        assert not report.ok
+        assert any("no usable r" in d for d in report.deviations)
+
+    def test_requires_exactly_one_sort_root(self, rng):
+        with pytest.raises(ValueError, match="exactly one 'sort' root"):
+            conformance_report(Tracer())
+        tracer = Tracer()
+        for _ in range(2):
+            with tracer.span("sort", r=2):
+                pass
+        with pytest.raises(ValueError, match="exactly one 'sort' root"):
+            conformance_report(tracer)

@@ -422,3 +422,112 @@ class TestEventBus:
         bus.publish(point_event("x", payload=1))
         assert len(a) == len(b) == 1
         assert a[0] is b[0]
+
+
+class TestTimelineRingBuffer:
+    """Opt-in ``max_steps`` bound: retain the tail, count the evictions."""
+
+    def _run(self, rng, max_steps=None):
+        sorter = MachineSorter.for_factor(k2(), 3)
+        timeline = MachineTimeline(sorter.network, max_steps=max_steps)
+        machine, _ = sorter.sort(rng.integers(0, 100, size=8), timeline=timeline)
+        return timeline, machine
+
+    def test_unbounded_by_default(self, rng):
+        timeline, machine = self._run(rng)
+        assert timeline.max_steps is None
+        assert timeline.dropped_steps == 0
+        assert len(timeline.steps) == machine.operations
+
+    def test_ring_retains_most_recent_steps(self, rng):
+        full, machine = self._run(rng)
+        bounded, _ = self._run(rng, max_steps=5)
+        assert len(bounded.steps) == 5
+        assert bounded.dropped_steps == machine.operations - 5
+        # indices stay absolute: the retained tail is the last five steps
+        assert [s.index for s in bounded.steps] == [
+            s.index for s in full.steps[-5:]
+        ]
+        assert bounded.steps[0].index == machine.operations - 5
+
+    def test_dropped_steps_surface_in_summary(self, rng):
+        timeline, machine = self._run(rng, max_steps=3)
+        summary = timeline.summary()
+        assert summary["steps"] == 3
+        assert summary["dropped_steps"] == machine.operations - 3
+        # aggregates cover only the retained window
+        assert summary["pairs"] == sum(s.pairs for s in timeline.steps)
+
+    def test_phase_summary_footer_reports_drops(self, rng):
+        tracer = Tracer()
+        sorter = MachineSorter.for_factor(k2(), 3)
+        timeline = MachineTimeline(sorter.network, max_steps=4)
+        sorter.sort(rng.integers(0, 100, size=8), tracer=tracer, timeline=timeline)
+        text = phase_summary(tracer, timeline=timeline)
+        assert f"({timeline.dropped_steps} dropped)" in text
+
+    def test_dropped_steps_still_reach_the_bus(self, rng):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        sorter = MachineSorter.for_factor(k2(), 3)
+        timeline = MachineTimeline(sorter.network, bus=bus, max_steps=2)
+        machine, _ = sorter.sort(rng.integers(0, 100, size=8), timeline=timeline)
+        assert len([e for e in seen if e.kind == "machine_step"]) == machine.operations
+
+    def test_reset_clears_drop_accounting(self, rng):
+        timeline, machine = self._run(rng, max_steps=3)
+        assert timeline.dropped_steps > 0
+        timeline.reset()
+        assert timeline.dropped_steps == 0
+        assert list(timeline.steps) == []
+        sorter = MachineSorter.for_factor(k2(), 3)
+        sorter.sort(rng.integers(0, 100, size=8), timeline=timeline)
+        assert timeline.steps[0].index == machine.operations - 3  # restarted at 0
+
+    def test_exact_capacity_drops_nothing(self, rng):
+        _, machine = self._run(rng)
+        timeline, _ = self._run(rng, max_steps=machine.operations)
+        assert timeline.dropped_steps == 0
+        assert timeline.steps[0].index == 0
+
+    def test_invalid_max_steps_rejected(self):
+        net = ProductGraph(k2(), 3)
+        with pytest.raises(ValueError, match="max_steps"):
+            MachineTimeline(net, max_steps=0)
+        with pytest.raises(ValueError, match="max_steps"):
+            MachineTimeline(net, max_steps=-1)
+
+
+class TestExportEdgeCases:
+    """Exports must not crash on empty, disabled or span-less tracers."""
+
+    def test_null_tracer_exports(self):
+        assert spans_to_jsonl(NULL_TRACER) == ""
+        doc = to_chrome_trace(NULL_TRACER)
+        # only the process_name metadata record — no spans, no counters
+        assert [e for e in doc["traceEvents"] if e["ph"] != "M"] == []
+        assert json.loads(chrome_trace_json(NULL_TRACER)) == doc
+        text = phase_summary(NULL_TRACER)
+        assert "phase" in text  # header renders, no rows
+
+    def test_empty_timeline_exports(self):
+        timeline = MachineTimeline(ProductGraph(k2(), 2))
+        assert timeline_to_jsonl(timeline) == ""
+        assert timeline.summary()["steps"] == 0
+        doc = to_chrome_trace(Tracer(), timeline=timeline)
+        assert [e for e in doc["traceEvents"] if e["ph"] == "C"] == []
+
+    def test_point_events_only_tracer(self):
+        tracer = Tracer()
+        collected = []
+        tracer.bus.subscribe(collected.append)
+        tracer.event("distribute", payload={"dim": 3})
+        tracer.event("cleanup")
+        # events flowed to the bus, but no spans were ever opened
+        assert [e.name for e in collected] == ["distribute", "cleanup"]
+        assert tracer.roots == []
+        assert spans_to_jsonl(tracer) == ""
+        doc = json.loads(chrome_trace_json(tracer))
+        assert [e for e in doc["traceEvents"] if e["ph"] != "M"] == []
+        assert "phase" in phase_summary(tracer)
