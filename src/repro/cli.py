@@ -9,6 +9,9 @@ Reproduces the paper's evaluation from the shell:
 * ``dirty-area`` — Lemma 1's ``<= N**2`` bound, measured;
 * ``trace`` — run one sort under the telemetry layer and export the phase
   span tree (Chrome trace-event JSON / JSONL / text summary);
+* ``topo`` — run one machine sort under the topology observatory and render
+  per-link congestion heatmaps and load-imbalance indices (terminal shading,
+  standalone SVG, or JSON);
 * ``worked-example`` — the Figs. 12-15 walkthrough (delegates to the
   example script's logic);
 * ``gray`` — print Gray/snake orders for small products (Figs. 3-5).
@@ -188,6 +191,52 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             text += timeline_to_jsonl(timeline)
     else:
         text = phase_summary(tracer, timeline=timeline)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text if text.endswith("\n") else text + "\n")
+    return 0
+
+
+def _cmd_topo(args: argparse.Namespace) -> int:
+    from .core.machine_sort import MachineSorter
+    from .observability import LinkObservatory, MachineTimeline, Tracer
+    from .observability.heatmap import (
+        render_imbalance_table,
+        render_topology_heatmap,
+        topology_json,
+        topology_svg,
+    )
+    from .orders import lattice_to_sequence
+
+    factor = _trace_factor(args.factor, args.n)
+    tracer = Tracer()
+    sorter = MachineSorter.for_factor(factor, args.r)
+    observatory = LinkObservatory(sorter.network, bus=tracer.bus)
+    timeline = MachineTimeline(sorter.network, bus=tracer.bus)
+    rng = np.random.default_rng(args.seed)
+    keys = rng.integers(0, 2**31, size=sorter.network.num_nodes)
+    machine, _ = sorter.sort(keys, tracer=tracer, timeline=timeline)
+    seq = lattice_to_sequence(machine.lattice())
+    if not bool(np.all(np.asarray(seq)[:-1] <= np.asarray(seq)[1:])):
+        print("UNSORTED OUTPUT — topology not exported", file=sys.stderr)
+        return 1
+
+    title = f"topology observatory — {args.factor} n={factor.n} r={args.r}"
+    if args.export == "svg":
+        text = topology_svg(observatory, title=title)
+    elif args.export == "json":
+        text = topology_json(observatory)
+    else:
+        sections = []
+        # no flag = show everything; flags narrow the view
+        if args.heatmap or not args.imbalance:
+            sections.append(render_topology_heatmap(observatory, title=title))
+        if args.imbalance or not args.heatmap:
+            sections.append(render_imbalance_table(observatory))
+        text = "\n\n".join(sections)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text if text.endswith("\n") else text + "\n")
@@ -409,6 +458,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", type=str, default=None, help="write to a file instead of stdout")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "topo",
+        help="topology observatory: per-link congestion maps and imbalance indices",
+    )
+    p.add_argument(
+        "--factor",
+        choices=("path", "cycle", "k2", "complete", "tree", "petersen", "debruijn"),
+        default="k2",
+        help="factor graph family",
+    )
+    p.add_argument("--n", type=int, default=3, help="factor size (where parametric)")
+    p.add_argument("--r", type=int, default=3, help="product dimensions")
+    p.add_argument("--heatmap", action="store_true", help="phase x dimension traversal heatmap")
+    p.add_argument("--imbalance", action="store_true", help="congestion/imbalance index table")
+    p.add_argument(
+        "--export",
+        choices=("svg", "json"),
+        default=None,
+        help="write a standalone report instead of terminal output",
+    )
+    p.add_argument("--out", type=str, default=None, help="write to a file instead of stdout")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_topo)
 
     p = sub.add_parser(
         "bench",

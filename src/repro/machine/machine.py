@@ -24,7 +24,7 @@ from collections import defaultdict
 import numpy as np
 
 from ..graphs.product import ProductGraph
-from .routing import exchange_rounds
+from .routing import StepRouting, route_partial_permutation
 
 __all__ = ["NetworkMachine"]
 
@@ -95,9 +95,12 @@ class NetworkMachine:
         The charged cost is 1 round when every pair is a network edge;
         otherwise the pairs are grouped by the ``G`` subgraph they live in,
         each subgraph's simultaneous two-way key exchange is routed by
-        :func:`repro.machine.routing.exchange_rounds`, and the step costs the
-        worst subgraph's makespan (all subgraphs route concurrently — they
-        are link-disjoint by construction).
+        :func:`repro.machine.routing.route_partial_permutation`, and the step
+        costs the worst subgraph's makespan (all subgraphs route concurrently
+        — they are link-disjoint by construction).  Routed steps hand the
+        hooks a :class:`~repro.machine.routing.StepRouting` with the actual
+        per-packet label routes and buffer occupancy, so subscribers see the
+        wires the exchange really used.
 
         Returns the rounds charged (also accumulated on :attr:`rounds`).
         """
@@ -128,11 +131,36 @@ class NetworkMachine:
 
         if all_adjacent:
             cost = 1
+            routes = None
         else:
+            # route every subgraph's simultaneous two-way exchange; the
+            # subgraphs are link-disjoint, so the step's cost is the worst
+            # makespan and the routed paths can be reported side by side
             cost = 0
-            for (_, _), items in by_subgraph.items():
-                local_pairs = [(sa, sb) for sa, sb, _, _ in items]
-                cost = max(cost, exchange_rounds(net.factor, local_pairs))
+            full_paths: list[tuple[Label, ...]] = []
+            occupancy: list[int] = []
+            for (d, rest), items in by_subgraph.items():
+                destinations: dict[int, int] = {}
+                for sa, sb, _, _ in items:
+                    destinations[sa] = sb
+                    destinations[sb] = sa
+                res = route_partial_permutation(net.factor, destinations)
+                cost = max(cost, res.makespan)
+                for sym_path in res.paths.values():
+                    full_paths.append(
+                        tuple(rest[:d] + (sym,) + rest[d:] for sym in sym_path)
+                    )
+                for t, depth in enumerate(res.round_occupancy):
+                    if t < len(occupancy):
+                        occupancy[t] = max(occupancy[t], depth)
+                    else:
+                        occupancy.append(depth)
+            routes = StepRouting(
+                paths=tuple(full_paths),
+                makespan=cost,
+                round_occupancy=tuple(occupancy),
+                peak_buffer_depth=max(occupancy, default=0),
+            )
 
         # execute the exchanges
         for items in by_subgraph.values():
@@ -144,9 +172,9 @@ class NetworkMachine:
         self.rounds += cost
         self.operations += 1
         if self.recorder is not None:
-            self.recorder.record(pairs, cost)
+            self.recorder.record(pairs, cost, routes)
         if self.timeline is not None:
-            self.timeline.record(pairs, cost)
+            self.timeline.record(pairs, cost, routes)
         return cost
 
     # ------------------------------------------------------------------

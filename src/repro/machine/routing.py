@@ -33,6 +33,7 @@ from ..graphs.base import FactorGraph
 
 __all__ = [
     "RoutingResult",
+    "StepRouting",
     "route_partial_permutation",
     "exchange_rounds",
     "published_routing_bound",
@@ -45,12 +46,45 @@ class RoutingResult:
 
     ``makespan`` is the number of synchronous rounds until every packet
     reached its destination; ``moves`` the total link traversals; ``paths``
-    the per-packet routes actually taken.
+    the per-packet routes actually taken.  ``round_occupancy[t]`` is the
+    largest number of in-flight packets *buffered* at any single node after
+    round ``t + 1`` — a packet counts as buffered only while parked at an
+    intermediate node (neither its source nor its destination), i.e. exactly
+    the memory the store-and-forward relaxation adds on top of the paper's
+    two-values-per-node model.  ``peak_buffer_depth`` is its maximum (0 when
+    every packet moved source -> destination directly).
     """
 
     makespan: int
     moves: int
     paths: dict[int, tuple[int, ...]]
+    round_occupancy: tuple[int, ...] = ()
+    peak_buffer_depth: int = 0
+
+
+@dataclass(frozen=True)
+class StepRouting:
+    """Routed realisation of one machine compare-exchange super-step.
+
+    Where :class:`RoutingResult` speaks factor-graph symbols, this speaks
+    full product-network labels: ``paths`` holds one label route per packet
+    of the step's simultaneous two-way exchange (adjacent pairs appear as
+    two 1-hop routes).  ``round_occupancy`` / ``peak_buffer_depth`` merge
+    the concurrent subgraph episodes (they are node-disjoint for the
+    single-dimension steps the §4 algorithm issues, so the merge is exact).
+    Hooks on :class:`~repro.machine.machine.NetworkMachine` receive one of
+    these per routed step — the raw material of the topology observatory.
+    """
+
+    paths: tuple[tuple[tuple[int, ...], ...], ...]
+    makespan: int
+    round_occupancy: tuple[int, ...] = ()
+    peak_buffer_depth: int = 0
+
+    @property
+    def link_traversals(self) -> int:
+        """Total directed-link traversals of the step (sum of path hops)."""
+        return sum(len(p) - 1 for p in self.paths)
 
 
 def route_partial_permutation(g: FactorGraph, destinations: dict[int, int]) -> RoutingResult:
@@ -82,6 +116,7 @@ def route_partial_permutation(g: FactorGraph, destinations: dict[int, int]) -> R
     pending = [s for s in destinations if len(paths[s]) > 1]
     makespan = 0
     moves = 0
+    round_occupancy: list[int] = []
     while pending:
         makespan += 1
         used: set[tuple[int, int]] = set()  # directed edges taken this round
@@ -97,7 +132,22 @@ def route_partial_permutation(g: FactorGraph, destinations: dict[int, int]) -> R
             if progress[s] < len(path) - 1:
                 still_pending.append(s)
         pending = still_pending
-    return RoutingResult(makespan=makespan, moves=moves, paths=paths)
+        # packets parked strictly inside their path are buffered at an
+        # intermediate node — the extra memory the relaxation introduces
+        buffered: dict[int, int] = {}
+        for s in pending:
+            i = progress[s]
+            if 0 < i < len(paths[s]) - 1:
+                node = paths[s][i]
+                buffered[node] = buffered.get(node, 0) + 1
+        round_occupancy.append(max(buffered.values(), default=0))
+    return RoutingResult(
+        makespan=makespan,
+        moves=moves,
+        paths=paths,
+        round_occupancy=tuple(round_occupancy),
+        peak_buffer_depth=max(round_occupancy, default=0),
+    )
 
 
 def exchange_rounds(g: FactorGraph, pairs: list[tuple[int, int]]) -> int:

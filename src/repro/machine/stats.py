@@ -49,6 +49,14 @@ class TrafficStats:
     #: adjacent pairs vs routed pairs (non-adjacent compare partners)
     adjacent_pairs: int
     routed_pairs: int
+    #: directed link traversals of routed steps (sum of actual path hops)
+    routed_link_traversals: int = 0
+    #: total directed link traversals of the run: two per pair of a purely
+    #: adjacent step (the two-way key exchange) plus the routed steps' actual
+    #: path hops — the ground truth the topology observatory must reproduce
+    link_traversals: int = 0
+    #: deepest intermediate-node buffer any routed step needed
+    peak_buffer_depth: int = 0
 
 
 @dataclass
@@ -66,9 +74,22 @@ class TrafficRecorder:
     _pairs_per_step: list[int] = field(default_factory=list)
     _adjacent: int = 0
     _routed: int = 0
+    _routed_hops: int = 0
+    _link_traversals: int = 0
+    _peak_buffer_depth: int = 0
 
-    def record(self, pairs: list[tuple[Label, Label]], cost: int) -> None:
-        """Observe one super-step (called by the machine)."""
+    def record(self, pairs: list[tuple[Label, Label]], cost: int, routes=None) -> None:
+        """Observe one super-step (called by the machine).
+
+        ``routes`` is the step's :class:`~repro.machine.routing.StepRouting`
+        when the exchange had to route, ``None`` for purely adjacent steps.
+        """
+        if routes is not None:
+            self._routed_hops += routes.link_traversals
+            self._link_traversals += routes.link_traversals
+            self._peak_buffer_depth = max(self._peak_buffer_depth, routes.peak_buffer_depth)
+        else:
+            self._link_traversals += 2 * len(pairs)
         self._pairs_per_step.append(len(pairs))
         r = self.network.r
         factor = self.network.factor
@@ -102,6 +123,9 @@ class TrafficRecorder:
             peak_node_utilisation=peak_util,
             adjacent_pairs=self._adjacent,
             routed_pairs=self._routed,
+            routed_link_traversals=self._routed_hops,
+            link_traversals=self._link_traversals,
+            peak_buffer_depth=self._peak_buffer_depth,
         )
 
     def reset(self) -> None:
@@ -111,3 +135,6 @@ class TrafficRecorder:
         self._pairs_per_step.clear()
         self._adjacent = 0
         self._routed = 0
+        self._routed_hops = 0
+        self._link_traversals = 0
+        self._peak_buffer_depth = 0

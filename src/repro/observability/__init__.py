@@ -37,7 +37,15 @@ from .events import (
     LedgerSubscriber,
     TraceEvent,
     TrafficSubscriber,
+    phase_key,
     point_event,
+)
+from .heatmap import (
+    render_imbalance_table,
+    render_topology_heatmap,
+    topology_html,
+    topology_json,
+    topology_svg,
 )
 from .export import (
     chrome_trace_json,
@@ -48,6 +56,7 @@ from .export import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, MetricsSubscriber
 from .timeline import MachineStep, MachineTimeline
+from .topology import CongestionIndex, LinkObservatory
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer, coerce_tracer
 
 __all__ = [
@@ -57,6 +66,7 @@ __all__ = [
     "LedgerSubscriber",
     "TrafficSubscriber",
     "point_event",
+    "phase_key",
     "Span",
     "Tracer",
     "NullTracer",
@@ -78,4 +88,11 @@ __all__ = [
     "MergeLevelCheck",
     "PhaseBreakdown",
     "conformance_report",
+    "CongestionIndex",
+    "LinkObservatory",
+    "render_topology_heatmap",
+    "render_imbalance_table",
+    "topology_json",
+    "topology_svg",
+    "topology_html",
 ]

@@ -7,7 +7,11 @@ every cell is one full traced sort — and snapshots, per cell:
 * span statistics and the per-phase round/comparison breakdown,
 * the :mod:`~repro.observability.critical_path` conformance verdict
   (Lemma 3 / Theorem 1, from telemetry),
-* machine traffic stats (machine-backend cells), and
+* machine traffic stats (machine-backend cells),
+* the :class:`~repro.observability.topology.LinkObservatory` snapshot
+  (machine-backend cells): per-link traversal totals, congestion and
+  load-imbalance indices per dimension and per phase, peak buffer depth —
+  structural totals gated at zero tolerance, and
 * wall time (informational; never a pass/fail signal by default).
 
 The snapshot is written as a schema-versioned ``BENCH_<label>.json`` at the
@@ -50,7 +54,8 @@ __all__ = [
 ]
 
 #: bump when the BENCH JSON layout changes incompatibly
-SCHEMA_VERSION = 1
+#: (v2: machine cells gained ``topology`` blocks and richer ``traffic``)
+SCHEMA_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -123,7 +128,7 @@ def run_cell(cell: WorkloadCell, seed: int = 0) -> dict[str, Any]:
     factor = cell.build_factor()
     rng = np.random.default_rng(seed)
     tracer = Tracer()
-    traffic = None
+    traffic = topology = None
 
     t0 = time.perf_counter()
     if cell.backend == "machine":
@@ -133,7 +138,7 @@ def run_cell(cell: WorkloadCell, seed: int = 0) -> dict[str, Any]:
         seq = lattice_to_sequence(machine.lattice())
         s2_model = routing_model = None
         comparisons = int(machine.comparisons)
-        traffic = _traffic_record(sorter, keys)
+        traffic, topology = _traffic_record(sorter, keys)
     elif cell.backend == "lattice":
         sorter = ProductNetworkSorter.for_factor(factor, cell.r)
         keys = rng.integers(0, 2**31, size=sorter.network.num_nodes)
@@ -194,30 +199,51 @@ def run_cell(cell: WorkloadCell, seed: int = 0) -> dict[str, Any]:
     }
     if traffic is not None:
         record["traffic"] = traffic
+    if topology is not None:
+        record["topology"] = topology
     return record
 
 
-def _traffic_record(sorter, keys) -> dict[str, Any]:
-    """Re-run the machine sort with a traffic recorder riding the event bus
-    (the schedule is oblivious, so the second run's traffic is identical)."""
+def _traffic_record(sorter, keys) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Re-run the machine sort with the traffic recorder and the topology
+    observatory riding the event bus (the schedule is oblivious, so the
+    second run's traffic is identical).  A tracer shares the bus so the
+    observatory can attribute every link traversal to its phase."""
     from ..machine.stats import TrafficRecorder
     from .events import EventBus, TrafficSubscriber
     from .timeline import MachineTimeline
+    from .topology import LinkObservatory
+    from .tracer import Tracer
 
     recorder = TrafficRecorder(sorter.network)
     bus = EventBus()
     bus.subscribe(TrafficSubscriber(recorder))
-    sorter.sort(keys, timeline=MachineTimeline(sorter.network, bus=bus))
+    observatory = LinkObservatory(sorter.network, bus=bus)
+    sorter.sort(
+        keys,
+        tracer=Tracer(bus=bus),
+        timeline=MachineTimeline(sorter.network, bus=bus),
+    )
     stats = recorder.stats()
-    return {
+    topology = observatory.snapshot()
+    if topology["total_traversals"] != stats.link_traversals:  # pragma: no cover
+        raise AssertionError(
+            "topology observatory disagrees with the traffic recorder: "
+            f"{topology['total_traversals']} vs {stats.link_traversals} traversals"
+        )
+    traffic = {
         "operations": stats.operations,
         "pair_count": stats.pair_count,
         "mean_parallelism": stats.mean_parallelism,
         "peak_node_utilisation": stats.peak_node_utilisation,
         "adjacent_pairs": stats.adjacent_pairs,
         "routed_pairs": stats.routed_pairs,
+        "routed_link_traversals": stats.routed_link_traversals,
+        "link_traversals": stats.link_traversals,
+        "peak_buffer_depth": stats.peak_buffer_depth,
         "dimension_ops": {str(d): c for d, c in sorted(stats.dimension_ops.items())},
     }
+    return traffic, topology
 
 
 def run_matrix(
@@ -291,7 +317,28 @@ DEFAULT_THRESHOLDS: dict[str, float | None] = {
     "comparisons": 0.0,
     "span_count": 0.0,
     "wall_time_s": None,  # CI machines vary wildly; opt in via --wall-threshold
+    # topology block scalars (machine cells): the schedule is oblivious, so
+    # edge-count totals are structural — zero regression tolerated
+    "topology.steps": 0.0,
+    "topology.routed_steps": 0.0,
+    "topology.directed_edges": 0.0,
+    "topology.used_edges": 0.0,
+    "topology.total_traversals": 0.0,
+    "topology.max_load": 0.0,
+    "topology.peak_buffer_depth": 0.0,
+    "topology.mean_load": None,   # redundant with the totals; informational
+    "topology.gini": None,
 }
+
+
+def _comparable_metrics(cell: dict[str, Any]) -> dict[str, float]:
+    """A cell's ``metrics`` dict plus its flattened topology scalars."""
+    out: dict[str, float] = dict(cell.get("metrics", {}))
+    for key, value in (cell.get("topology") or {}).items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        out[f"topology.{key}"] = value
+    return out
 
 
 @dataclass(frozen=True)
@@ -404,15 +451,17 @@ def compare_documents(
         base = base_cells.get(key)
         if base is None:
             continue
+        cand_metrics = _comparable_metrics(cand)
+        base_metrics = _comparable_metrics(base)
         for metric, threshold in limits.items():
-            if metric not in cand.get("metrics", {}) or metric not in base.get("metrics", {}):
+            if metric not in cand_metrics or metric not in base_metrics:
                 continue
             result.deltas.append(
                 MetricDelta(
                     cell=key,
                     metric=metric,
-                    baseline=float(base["metrics"][metric]),
-                    candidate=float(cand["metrics"][metric]),
+                    baseline=float(base_metrics[metric]),
+                    candidate=float(cand_metrics[metric]),
                     threshold=threshold,
                 )
             )

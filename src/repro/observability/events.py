@@ -34,10 +34,23 @@ __all__ = [
     "LedgerSubscriber",
     "TrafficSubscriber",
     "point_event",
+    "phase_key",
 ]
 
 #: the one clock the whole telemetry layer uses (monotonic, sub-µs)
 clock = time.perf_counter
+
+
+def phase_key(name: str, dim: Any = None) -> str:
+    """Canonical phase key for a span: ``name`` plus its dimension, if any.
+
+    Every consumer that groups telemetry by phase — the timeline's
+    ``phase_summary`` table and the topology observatory's per-phase edge
+    attribution — must agree on what "a phase" is, or their rows can never
+    be joined.  This is the one definition: ``"merge[d3]"`` for a span named
+    ``merge`` carrying ``dim=3``, bare ``name`` when no dimension applies.
+    """
+    return f"{name}[d{dim}]" if dim is not None else name
 
 
 @dataclass(frozen=True)
@@ -155,4 +168,8 @@ class TrafficSubscriber:
 
     def on_event(self, event: TraceEvent) -> None:
         if event.kind == "machine_step":
-            self.recorder.record(list(event.attrs["pairs"]), int(event.attrs["rounds"]))
+            self.recorder.record(
+                list(event.attrs["pairs"]),
+                int(event.attrs["rounds"]),
+                event.attrs.get("routes"),
+            )

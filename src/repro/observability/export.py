@@ -26,6 +26,7 @@ import json
 from collections.abc import Iterable
 from typing import Any
 
+from .events import phase_key
 from .timeline import MachineTimeline
 from .tracer import Span, Tracer
 
@@ -98,6 +99,8 @@ def timeline_to_jsonl(timeline: MachineTimeline) -> str:
                     "dimension": step.dimension,
                     "adjacent": step.adjacent,
                     "utilisation": step.utilisation,
+                    "routed_hops": step.routed_hops,
+                    "peak_buffer_depth": step.peak_buffer_depth,
                     "time": step.time,
                 },
                 sort_keys=True,
@@ -215,12 +218,17 @@ def chrome_trace_json(
 # ----------------------------------------------------------------------
 
 def phase_summary(source: Tracer | Iterable[Span], timeline: MachineTimeline | None = None) -> str:
-    """Aggregate spans by phase name into a fixed-width text table."""
+    """Aggregate spans by phase key into a fixed-width text table.
+
+    Rows are keyed by :func:`~repro.observability.events.phase_key` — the
+    same normalisation the topology observatory uses for per-phase edge
+    attribution, so the two tables join on the phase column.
+    """
     agg: dict[tuple[str, str], dict[str, float]] = {}
     order: list[tuple[str, str]] = []
     for root in _roots(source):
         for span in root.walk():
-            key = (span.name, span.kind)
+            key = (phase_key(span.name, span.attrs.get("dim")), span.kind)
             if key not in agg:
                 agg[key] = {"count": 0, "rounds": 0, "comparisons": 0, "wall_ms": 0.0}
                 order.append(key)

@@ -1,0 +1,207 @@
+"""Render the topology observatory: terminal heatmaps, tables, SVG, JSON.
+
+Everything here is a pure function of a finished
+:class:`~repro.observability.topology.LinkObservatory` — run the sort first,
+render afterwards.  Four audiences:
+
+* :func:`render_topology_heatmap` — the phase × dimension traversal matrix
+  as a shaded terminal heatmap (``repro topo --heatmap``);
+* :func:`render_imbalance_table` — the congestion/imbalance indices as a
+  fixed-width table (``repro topo --imbalance``, the ``repro report``
+  topology section);
+* :func:`topology_svg` / :func:`topology_html` — a standalone, dependency-
+  free SVG (optionally wrapped in a minimal HTML page) with the same matrix
+  as coloured cells plus the index table (``repro topo --export svg``, the
+  CI artifact);
+* :func:`topology_json` — the raw :meth:`LinkObservatory.snapshot`
+  serialised (``repro topo --export json``).
+"""
+
+from __future__ import annotations
+
+import json
+from xml.sax.saxutils import escape
+
+from ..viz import render_heatmap
+from .topology import LinkObservatory
+
+__all__ = [
+    "phase_dimension_matrix",
+    "render_topology_heatmap",
+    "render_imbalance_table",
+    "topology_json",
+    "topology_svg",
+    "topology_html",
+]
+
+
+def phase_dimension_matrix(
+    obs: LinkObservatory,
+) -> tuple[list[str], list[str], list[list[int]]]:
+    """The heatmap's data: phases as rows, paper dimensions as columns.
+
+    Rows appear in first-traffic order (the run's own chronology) plus a
+    final ``TOTAL`` row; columns cover every dimension ``1..r`` so idle
+    dimensions are visibly cold rather than silently absent.
+    """
+    dims = list(range(1, obs.network.r + 1))
+    per_phase = obs.phase_dimension_traversals()
+    rows = list(per_phase)
+    matrix = [[per_phase[p].get(d, 0) for d in dims] for p in rows]
+    total = [sum(col) for col in zip(*matrix)] if matrix else [0] * len(dims)
+    rows.append("TOTAL")
+    matrix.append(total)
+    return rows, [f"d{d}" for d in dims], matrix
+
+
+def render_topology_heatmap(obs: LinkObservatory, title: str | None = None) -> str:
+    """Phase × dimension traversals as a shaded terminal heatmap."""
+    rows, cols, matrix = phase_dimension_matrix(obs)
+    if title is None:
+        title = f"link traversals by phase and dimension — {obs.network!r}"
+    return render_heatmap(matrix, rows, cols, title=title)
+
+
+def _index_rows(obs: LinkObservatory) -> list[tuple[str, object]]:
+    """(scope label, CongestionIndex) rows: network, dimensions, phases."""
+    rows: list[tuple[str, object]] = [("network", obs.congestion())]
+    rows += [(f"dim {d}", idx) for d, idx in sorted(obs.dimension_indices().items())]
+    rows += [(phase, idx) for phase, idx in obs.phase_indices().items()]
+    return rows
+
+
+def render_imbalance_table(obs: LinkObservatory) -> str:
+    """Congestion/imbalance indices as a fixed-width text table."""
+    headers = ["scope", "wires", "used", "traversals", "max", "mean", "gini", "peak buf"]
+    body = [
+        [
+            scope,
+            str(idx.directed_edges),
+            str(idx.used_edges),
+            str(idx.total_traversals),
+            str(idx.max_load),
+            f"{idx.mean_load:.2f}",
+            f"{idx.gini:.3f}",
+            str(idx.peak_buffer_depth),
+        ]
+        for scope, idx in _index_rows(obs)
+    ]
+    widths = [
+        max(len(headers[c]), max((len(row[c]) for row in body), default=0))
+        for c in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines += ["  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in body]
+    util = obs.node_utilisation()
+    lines.append("")
+    lines.append(
+        f"nodes: mean busy fraction {util['mean_busy_fraction']:.2f} "
+        f"(min {util['min_busy_fraction']:.2f}, max {util['max_busy_fraction']:.2f}), "
+        f"{util['idle_nodes']} never busy; "
+        f"{obs.routed_steps}/{obs.steps} steps routed"
+    )
+    return "\n".join(lines)
+
+
+def topology_json(obs: LinkObservatory) -> str:
+    """The observatory snapshot, serialised."""
+    return json.dumps(obs.snapshot(), indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# SVG / HTML
+# ----------------------------------------------------------------------
+
+#: heatmap cell fill at zero load / full load (linear interpolation between)
+_COLD = (247, 251, 255)
+_HOT = (165, 15, 21)
+
+_CELL_W, _CELL_H, _LABEL_W, _PAD = 64, 26, 210, 10
+_FONT = "font-family='monospace' font-size='12'"
+
+
+def _fill(value: float, peak: float) -> str:
+    t = 0.0 if peak <= 0 else min(value / peak, 1.0)
+    rgb = tuple(round(c + (h - c) * t) for c, h in zip(_COLD, _HOT))
+    return f"rgb({rgb[0]},{rgb[1]},{rgb[2]})"
+
+
+def topology_svg(obs: LinkObservatory, title: str | None = None) -> str:
+    """A standalone SVG report: heatmap grid + congestion-index table.
+
+    No dependencies, well-formed XML (labels are escaped), viewable in any
+    browser — the artifact the CI bench-quick job uploads.
+    """
+    rows, cols, matrix = phase_dimension_matrix(obs)
+    peak = max((v for row in matrix for v in row), default=0)
+    if title is None:
+        title = f"topology observatory — {obs.network!r}"
+
+    parts: list[str] = []
+    y = _PAD + 18
+    parts.append(
+        f"<text x='{_PAD}' y='{y}' {_FONT} font-weight='bold'>{escape(title)}</text>"
+    )
+    y += _PAD
+    # column headers
+    for c, col in enumerate(cols):
+        x = _LABEL_W + c * _CELL_W + _CELL_W // 2
+        parts.append(
+            f"<text x='{x}' y='{y + 14}' {_FONT} text-anchor='middle'>{escape(col)}</text>"
+        )
+    y += 20
+    grid_top = y
+    for r, (label, row) in enumerate(zip(rows, matrix)):
+        cy = grid_top + r * _CELL_H
+        parts.append(
+            f"<text x='{_LABEL_W - 6}' y='{cy + _CELL_H - 9}' {_FONT} "
+            f"text-anchor='end'>{escape(label)}</text>"
+        )
+        for c, value in enumerate(row):
+            cx = _LABEL_W + c * _CELL_W
+            parts.append(
+                f"<rect x='{cx}' y='{cy}' width='{_CELL_W - 2}' height='{_CELL_H - 2}' "
+                f"fill='{_fill(value, peak)}' stroke='#999' stroke-width='0.5'/>"
+            )
+            dark = peak > 0 and value / peak > 0.55
+            colour = "#fff" if dark else "#222"
+            parts.append(
+                f"<text x='{cx + (_CELL_W - 2) // 2}' y='{cy + _CELL_H - 9}' {_FONT} "
+                f"text-anchor='middle' fill='{colour}'>{value:g}</text>"
+            )
+    y = grid_top + len(rows) * _CELL_H + 2 * _PAD
+
+    # index table as monospace text rows
+    table = render_imbalance_table(obs)
+    for line in table.split("\n"):
+        parts.append(
+            f"<text x='{_PAD}' y='{y}' {_FONT} xml:space='preserve'>{escape(line)}</text>"
+        )
+        y += 16
+
+    width = max(_LABEL_W + len(cols) * _CELL_W + _PAD,
+                _PAD + 8 * max(len(l) for l in table.split("\n")))
+    height = y + _PAD
+    return (
+        "<?xml version='1.0' encoding='UTF-8'?>\n"
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}'>\n"
+        f"<rect width='{width}' height='{height}' fill='white'/>\n"
+        + "\n".join(parts)
+        + "\n</svg>\n"
+    )
+
+
+def topology_html(obs: LinkObservatory, title: str | None = None) -> str:
+    """The SVG report wrapped in a minimal standalone HTML page."""
+    svg = topology_svg(obs, title=title)
+    # strip the XML declaration; it may not appear mid-document
+    body = svg.split("\n", 1)[1]
+    heading = escape(title or "topology observatory")
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'/>"
+        f"<title>{heading}</title></head>\n<body>\n{body}</body></html>\n"
+    )

@@ -288,6 +288,12 @@ class MetricsSubscriber:
     ``repro_machine_pairs_total``   counter    node pairs engaged, total
     ``repro_machine_pairs``         histogram  pairs engaged per super-step
     ``repro_machine_utilisation``   gauge      last observed step utilisation
+    ``repro_link_traversals_total`` counter    directed-link traversals, by
+                                               step kind (adjacent/routed)
+    ``repro_peak_buffer_depth``     gauge      deepest intermediate-node
+                                               buffer seen so far (run max)
+    ``repro_buffer_occupancy``      histogram  buffered packets per routing
+                                               round
     ==============================  =========  =================================
     """
 
@@ -309,6 +315,15 @@ class MetricsSubscriber:
         self._pairs_total = r.counter("repro_machine_pairs_total", "node pairs engaged in super-steps")
         self._pairs = r.histogram("repro_machine_pairs", "node pairs engaged per super-step")
         self._util = r.gauge("repro_machine_utilisation", "fraction of nodes busy, last super-step")
+        self._traversals = r.counter(
+            "repro_link_traversals_total", "directed-link traversals, by step kind"
+        )
+        self._buffer_peak = r.gauge(
+            "repro_peak_buffer_depth", "deepest intermediate-node buffer observed"
+        )
+        self._occupancy = r.histogram(
+            "repro_buffer_occupancy", "buffered packets per routing round"
+        )
         self._open_starts: dict[int, float] = {}
 
     def on_event(self, event: TraceEvent) -> None:
@@ -339,3 +354,12 @@ class MetricsSubscriber:
             utilisation = event.attrs.get("utilisation")
             if utilisation is not None:
                 self._util.set(float(utilisation))
+            routes = event.attrs.get("routes")
+            if routes is None:
+                self._traversals.inc(2 * pairs, kind="adjacent")
+            else:
+                self._traversals.inc(routes.link_traversals, kind="routed")
+                if routes.peak_buffer_depth > self._buffer_peak.value():
+                    self._buffer_peak.set(routes.peak_buffer_depth)
+                for depth in routes.round_occupancy:
+                    self._occupancy.observe(depth)

@@ -47,6 +47,10 @@ class MachineStep:
     utilisation: float
     #: wall-clock stamp (perf_counter seconds) when the step was recorded
     time: float
+    #: directed link traversals when the step routed (0 for adjacent steps)
+    routed_hops: int = 0
+    #: deepest intermediate-node buffer the step's routing needed
+    peak_buffer_depth: int = 0
 
 
 class MachineTimeline:
@@ -82,8 +86,15 @@ class MachineTimeline:
         self.dropped_steps = 0
         self._recorded = 0
 
-    def record(self, pairs: list[tuple[Label, Label]], cost: int) -> None:
-        """Observe one super-step (called by the machine)."""
+    def record(self, pairs: list[tuple[Label, Label]], cost: int, routes=None) -> None:
+        """Observe one super-step (called by the machine).
+
+        ``routes`` is the step's :class:`~repro.machine.routing.StepRouting`
+        when the exchange routed, ``None`` for purely adjacent steps; it is
+        forwarded verbatim in the ``machine_step`` event's attrs so bus
+        subscribers (traffic stats, the topology observatory) see the actual
+        label routes.
+        """
         r = self.network.r
         factor = self.network.factor
         dims: set[int] = set()
@@ -104,6 +115,8 @@ class MachineTimeline:
             adjacent=adjacent,
             utilisation=(2 * len(pairs) / nodes) if nodes else 0.0,
             time=clock(),
+            routed_hops=routes.link_traversals if routes is not None else 0,
+            peak_buffer_depth=routes.peak_buffer_depth if routes is not None else 0,
         )
         self._recorded += 1
         if self.max_steps is not None and len(self.steps) == self.max_steps:
@@ -122,6 +135,7 @@ class MachineTimeline:
                         "dimension": step.dimension,
                         "adjacent": adjacent,
                         "utilisation": step.utilisation,
+                        "routes": routes,
                     },
                 )
             )

@@ -34,7 +34,55 @@ __all__ = [
     "render_merge_trace",
     "render_comparator_network",
     "render_factor_graph",
+    "heat_shade",
+    "render_heatmap",
 ]
+
+#: shading ramp for terminal heatmaps, coolest to hottest
+HEAT_SHADES = " ·░▒▓█"
+
+
+def heat_shade(value: float, peak: float) -> str:
+    """The ramp character for ``value`` on a scale topping out at ``peak``."""
+    if peak <= 0 or value <= 0:
+        return HEAT_SHADES[0]
+    idx = 1 + int((len(HEAT_SHADES) - 2) * min(value / peak, 1.0))
+    return HEAT_SHADES[min(idx, len(HEAT_SHADES) - 1)]
+
+
+def render_heatmap(
+    matrix: Sequence[Sequence[float]],
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    title: str | None = None,
+) -> str:
+    """A labelled terminal heatmap: shade ramp + the numbers themselves.
+
+    Each cell prints its shade character twice (so the ramp is legible at a
+    glance) followed by the right-justified value; all cells share one scale,
+    the matrix maximum, echoed in the legend line.
+    """
+    if len(matrix) != len(row_labels):
+        raise ValueError("need one row label per matrix row")
+    for row in matrix:
+        if len(row) != len(col_labels):
+            raise ValueError("every matrix row must match the column labels")
+    peak = max((v for row in matrix for v in row), default=0)
+    num_w = max([len(f"{v:g}") for row in matrix for v in row] or [1])
+    cell_w = max(num_w + 3, *(len(c) + 1 for c in col_labels)) if col_labels else num_w + 3
+    label_w = max((len(r) for r in row_labels), default=0)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" " * label_w + "".join(c.rjust(cell_w) for c in col_labels))
+    for label, row in zip(row_labels, matrix):
+        cells = "".join(
+            (heat_shade(v, peak) * 2 + f"{v:g}".rjust(num_w)).rjust(cell_w) for v in row
+        )
+        lines.append(label.ljust(label_w) + cells)
+    ramp = "".join(HEAT_SHADES[1:])
+    lines.append(f"scale: 0..{peak:g}  ({ramp} = cool..hot)")
+    return "\n".join(lines)
 
 
 def render_lattice(lattice: np.ndarray, indent: str = "") -> str:

@@ -59,6 +59,11 @@ class TestWorkloadMatrix:
         with pytest.raises(ValueError, match="unknown backend"):
             run_cell(WorkloadCell("path", 3, 2, "quantum"))
 
+    def test_schema_version_pinned(self):
+        # v2: machine cells gained ``topology`` blocks and richer ``traffic``.
+        # Bump this pin deliberately alongside BENCH_seed.json regeneration.
+        assert SCHEMA_VERSION == 2
+
     def test_document_schema(self, matrix_doc):
         assert matrix_doc["schema_version"] == SCHEMA_VERSION
         assert matrix_doc["label"] == "test"
@@ -104,6 +109,20 @@ class TestWorkloadMatrix:
             assert 0 < traffic["peak_node_utilisation"] <= 1.0
         lattice = [c for c in matrix_doc["cells"] if c["backend"] == "lattice"]
         assert all("traffic" not in c for c in lattice)
+
+    def test_machine_cells_carry_topology(self, matrix_doc):
+        machine = [c for c in matrix_doc["cells"] if c["backend"] == "machine"]
+        assert machine
+        for cell in machine:
+            topo = cell["topology"]
+            # the observatory's edge accounting must agree with the
+            # recorder's ground-truth traversal counter exactly
+            assert topo["total_traversals"] == cell["traffic"]["link_traversals"]
+            assert topo["directed_edges"] >= topo["used_edges"] > 0
+            assert topo["peak_buffer_depth"] == cell["traffic"]["peak_buffer_depth"]
+            assert topo["per_phase"]  # phase-attributed histograms present
+        lattice = [c for c in matrix_doc["cells"] if c["backend"] == "lattice"]
+        assert all("topology" not in c for c in lattice)
 
     def test_structural_metrics_are_deterministic(self):
         a = run_cell(WorkloadCell("path", 3, 2, "lattice"), seed=0)
@@ -212,6 +231,19 @@ class TestComparison:
         assert DEFAULT_THRESHOLDS["total_rounds"] == 0.0
         assert DEFAULT_THRESHOLDS["wall_time_s"] is None
 
+    def test_topology_totals_are_zero_tolerance(self, matrix_doc):
+        assert DEFAULT_THRESHOLDS["topology.total_traversals"] == 0.0
+        assert DEFAULT_THRESHOLDS["topology.directed_edges"] == 0.0
+        assert DEFAULT_THRESHOLDS["topology.mean_load"] is None
+        inflated = copy.deepcopy(matrix_doc)
+        victim = next(c for c in inflated["cells"] if c["backend"] == "machine")
+        victim["topology"]["total_traversals"] += 1
+        result = compare_documents(matrix_doc, inflated)
+        assert not result.ok
+        assert any(
+            d.metric == "topology.total_traversals" for d in result.regressions
+        )
+
 
 class TestBenchCli:
     def test_bench_run_writes_snapshot(self, tmp_path, capsys):
@@ -220,7 +252,7 @@ class TestBenchCli:
         doc = load_document(str(out))
         assert doc["label"] == "t" and len(doc["cells"]) == len(DEFAULT_MATRIX)
         stdout = capsys.readouterr().out
-        assert "schema v1" in stdout and "conformance=ok" in stdout
+        assert "schema v2" in stdout and "conformance=ok" in stdout
 
     def test_bench_compare_same_file_ok(self, tmp_path, capsys, matrix_doc):
         path = write_document(matrix_doc, str(tmp_path / "BENCH_t.json"))

@@ -83,6 +83,43 @@ class TestRouter:
         assert res.makespan <= 2 * 7  # sanity: within 2x of optimal
 
 
+class TestRouterEdgeCases:
+    """The degenerate and error inputs the topology observatory can feed."""
+
+    def test_empty_destination_map(self):
+        res = route_partial_permutation(path_graph(4), {})
+        assert res.makespan == 0 and res.moves == 0
+        assert res.paths == {}
+        assert res.round_occupancy == () and res.peak_buffer_depth == 0
+
+    def test_identity_permutation_records_trivial_paths(self):
+        res = route_partial_permutation(path_graph(4), {i: i for i in range(4)})
+        assert res.makespan == 0 and res.moves == 0
+        assert res.paths == {i: (i,) for i in range(4)}
+        assert res.peak_buffer_depth == 0
+
+    def test_disconnected_pair_raises_instead_of_hanging(self):
+        from repro.graphs.base import FactorGraph
+
+        # the raw constructor skips from_edge_list's connectivity check —
+        # exactly how a malformed factor could reach the router
+        g = FactorGraph(n=4, edges=frozenset({(0, 1), (2, 3)}), name="split")
+        with pytest.raises(ValueError, match="no path"):
+            route_partial_permutation(g, {0: 3})
+
+    def test_occupancy_matches_declared_peak(self):
+        g = star_graph(5)
+        res = route_partial_permutation(g, {1: 2, 2: 1, 3: 4, 4: 3})
+        assert len(res.round_occupancy) == res.makespan
+        assert res.peak_buffer_depth == max(res.round_occupancy)
+        # all four packets relay through the hub, so it must buffer
+        assert res.peak_buffer_depth >= 1
+
+    def test_adjacent_moves_never_buffer(self):
+        res = route_partial_permutation(path_graph(4), {0: 1, 1: 0, 2: 3, 3: 2})
+        assert res.peak_buffer_depth == 0
+
+
 class TestExchange:
     def test_adjacent_pairs_one_round(self):
         g = path_graph(6)
