@@ -12,6 +12,10 @@ Reproduces the paper's evaluation from the shell:
 * ``topo`` — run one machine sort under the topology observatory and render
   per-link congestion heatmaps and load-imbalance indices (terminal shading,
   standalone SVG, or JSON);
+* ``check`` — static schedule verifier: extract the comparator DAG of every
+  benchreg matrix cell, certify obliviousness, and lint it (zero-one, races,
+  link legality, depth conformance); ``--mutants`` proves the lints catch
+  each seeded fault class;
 * ``worked-example`` — the Figs. 12-15 walkthrough (delegates to the
   example script's logic);
 * ``gray`` — print Gray/snake orders for small products (Figs. 3-5).
@@ -393,6 +397,37 @@ def _cmd_bench_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .staticcheck import LINT_NAMES, render_check, run_check, run_mutants
+
+    selected = [
+        name
+        for name, flag in (
+            ("races", args.races),
+            ("links", args.links),
+            ("zero-one", args.zero_one),
+            ("depth", args.depth),
+        )
+        if flag
+    ]
+    lints = tuple(selected) if selected else LINT_NAMES
+    try:
+        run = run_check(lints=lints, only=args.cell, seed=args.seed)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.mutants:
+        run.mutants = run_mutants(seed=args.seed)
+    if args.json:
+        print(json.dumps(run.to_json(), indent=2))
+    else:
+        print(render_check(run, verbose=args.verbose))
+        print(f"\nstatic check: {'ok' if run.ok else 'FAILED'} "
+              f"({len(run.cells)} cells, lints: {', '.join(lints)}"
+              f"{', mutant harness' if run.mutants else ''})")
+    return run.exit_code
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import generate_report
 
@@ -526,6 +561,32 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--seed", type=int, default=0)
     b.add_argument("--format", choices=("prom", "json"), default="prom")
     b.set_defaults(func=_cmd_bench_metrics)
+
+    p = sub.add_parser(
+        "check",
+        help="static schedule verifier: comparator-DAG extraction + lints "
+        "over the benchreg workload matrix",
+    )
+    p.add_argument("--zero-one", action="store_true", help="zero-one certification (Lemmas 1-2)")
+    p.add_argument("--races", action="store_true", help="synchronous-round race detector")
+    p.add_argument("--links", action="store_true", help="single-G-subgraph link-legality lint (§4)")
+    p.add_argument("--depth", action="store_true", help="S_r(N)/M_k(N) depth conformance (Lemma 3, Theorem 1)")
+    p.add_argument(
+        "--mutants",
+        action="store_true",
+        help="also run the seeded-fault harness (each mutant must be caught by its lint)",
+    )
+    p.add_argument(
+        "--cell",
+        action="append",
+        default=None,
+        metavar="KEY",
+        help="restrict to one benchreg cell (repeatable), e.g. path-n3-r3-machine",
+    )
+    p.add_argument("--verbose", action="store_true", help="also print advisory findings (dead comparators etc.)")
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser("gray", help="print Gray/snake orders (Figs. 3-5)")
     p.add_argument("--n", type=int, default=3)

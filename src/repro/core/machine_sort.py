@@ -25,7 +25,7 @@ from ..graphs.product import ProductGraph, SubgraphView
 from ..machine.machine import NetworkMachine
 from ..machine.metrics import CostLedger
 from ..observability import NULL_TRACER, MachineTimeline, Tracer, coerce_tracer
-from ..orders.gray import gray_rank, gray_unrank
+from ..orders.gray import gray_unrank
 from ..sorters2d.base import ExecutableTwoDimSorter
 from ..sorters2d.hypercube2d import HypercubeThreeStepSorter
 from ..sorters2d.shearsort import ShearSorter

@@ -1,0 +1,93 @@
+"""Static schedule verification for the product-network sorter.
+
+The algorithm of §3.1/§4 is data-oblivious: its compare-exchange schedule is
+a function of the geometry ``(G, N, r)`` alone.  This package makes that
+schedule a first-class static artifact — a :class:`ComparatorDAG` extracted
+from either backend without real keys mattering — and certifies it without
+re-running the sorter: obliviousness (identical DAG hash under adversarial
+key assignments), zero-one sortedness (Lemma 2, with Lemma-1 dirty-area
+early exit), synchronous-round race freedom, §4 link legality, exact
+``S_r(N)``/``M_k(N)`` depth conformance, and dead-comparator detection.
+A seeded mutant harness proves each lint has teeth.  The ``repro check``
+CLI drives everything over the canonical benchreg workload matrix.
+"""
+
+from .dag import (
+    BlockSortOp,
+    ComparatorDAG,
+    ComparatorOp,
+    SchedulePhase,
+    ScheduleRound,
+    replay,
+    snake_order_nodes,
+)
+from .extract import (
+    ExtractionResult,
+    ObliviousnessCertificate,
+    adversarial_key_sets,
+    certify_oblivious,
+    extract_schedule,
+)
+from .lints import (
+    LINT_NAMES,
+    LintFinding,
+    LintResult,
+    VerificationReport,
+    lint_depth,
+    lint_links,
+    lint_races,
+    lint_zero_one,
+    verify_dag,
+)
+from .mutants import (
+    MUTANTS,
+    Mutant,
+    MutantOutcome,
+    apply_mutant,
+    run_mutant_harness,
+)
+from .checker import (
+    MUTANT_CELLS,
+    CellCheck,
+    CheckRun,
+    render_check,
+    render_mutants,
+    run_check,
+    run_mutants,
+)
+
+__all__ = [
+    "BlockSortOp",
+    "ComparatorDAG",
+    "ComparatorOp",
+    "SchedulePhase",
+    "ScheduleRound",
+    "replay",
+    "snake_order_nodes",
+    "ExtractionResult",
+    "ObliviousnessCertificate",
+    "adversarial_key_sets",
+    "certify_oblivious",
+    "extract_schedule",
+    "LINT_NAMES",
+    "LintFinding",
+    "LintResult",
+    "VerificationReport",
+    "lint_depth",
+    "lint_links",
+    "lint_races",
+    "lint_zero_one",
+    "verify_dag",
+    "MUTANTS",
+    "Mutant",
+    "MutantOutcome",
+    "apply_mutant",
+    "run_mutant_harness",
+    "MUTANT_CELLS",
+    "CellCheck",
+    "CheckRun",
+    "render_check",
+    "render_mutants",
+    "run_check",
+    "run_mutants",
+]

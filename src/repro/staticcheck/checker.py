@@ -1,0 +1,261 @@
+"""Drive the static verifier over the canonical benchreg workload matrix.
+
+:func:`run_check` is what ``repro check`` executes: for every matrix cell it
+extracts the schedule under adversarial key assignments (obliviousness
+certificate), then runs the requested lints over the certified DAG.  Lattice
+cells additionally pin the depth lint to the analytic per-call round models,
+so conformance is checked against the exact published ``S_r(N)`` — the same
+convention the dynamic critical-path conformance uses.
+
+:func:`run_mutants` drives the seeded-fault harness over the canonical
+mutant cells — ``path-n3-r3`` on both backends, the smallest geometry where
+all four fault classes are semantically live (on ``n = 2`` cells parts of
+the clean-up are provably redundant, as the dead-comparator detection shows,
+so a dropped block sort is invisible to any sound semantic lint there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from ..observability.benchreg import DEFAULT_MATRIX, WorkloadCell
+from ..graphs.product import ProductGraph
+from .extract import ObliviousnessCertificate, certify_oblivious
+from .lints import LINT_NAMES, VerificationReport, verify_dag
+from .mutants import MutantOutcome, run_mutant_harness
+
+__all__ = [
+    "CellCheck",
+    "CheckRun",
+    "MUTANT_CELLS",
+    "run_check",
+    "run_mutants",
+    "render_check",
+    "render_mutants",
+]
+
+#: canonical cells for the seeded-fault harness (see module docstring)
+MUTANT_CELLS: tuple[WorkloadCell, ...] = (
+    WorkloadCell(family="path", n=3, r=3, backend="lattice"),
+    WorkloadCell(family="path", n=3, r=3, backend="machine"),
+)
+
+
+def _analytic_models(cell: WorkloadCell) -> tuple[int | None, int | None]:
+    """Per-call round models for the depth lint (lattice cells only).
+
+    The machine backend's unit costs are measured, not modelled; its depth
+    lint checks uniformity and the closed form at measured units.
+    """
+    if cell.backend != "lattice":
+        return None, None
+    from ..core.lattice_sort import ProductNetworkSorter
+
+    factor = cell.build_factor()
+    sorter = ProductNetworkSorter.for_factor(factor, cell.r)
+    return sorter.sorter2d.rounds(factor.n), sorter.routing.rounds(factor.n)
+
+
+@dataclass
+class CellCheck:
+    """Everything the verifier established about one workload cell."""
+
+    cell: WorkloadCell
+    certificate: ObliviousnessCertificate
+    report: VerificationReport | None
+
+    @property
+    def ok(self) -> bool:
+        if not self.certificate.ok:
+            return False
+        return self.report is None or self.report.ok
+
+    @property
+    def failed(self) -> list[str]:
+        out = [] if self.certificate.ok else ["oblivious"]
+        if self.report is not None:
+            out.extend(self.report.failed_lints)
+        return out
+
+    def to_json(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "cell": self.cell.key,
+            "ok": self.ok,
+            "failed": self.failed,
+            "oblivious": {
+                "ok": self.certificate.ok,
+                "hashes": dict(self.certificate.hashes),
+            },
+            "dag": {
+                "phases": len(self.certificate.dag.phases),
+                "rounds": len(self.certificate.dag.rounds),
+                "comparators": self.certificate.dag.comparator_count,
+                "block_sorts": self.certificate.dag.block_sort_count,
+                "depth": self.certificate.dag.depth,
+                "hash": self.certificate.dag.schedule_hash(),
+            },
+        }
+        if self.report is not None:
+            payload["lints"] = {
+                name: {
+                    "ok": res.ok,
+                    "stats": res.stats,
+                    "findings": [
+                        {"message": f.message, "advisory": f.advisory}
+                        for f in res.findings
+                    ],
+                }
+                for name, res in self.report.results.items()
+            }
+        return payload
+
+
+@dataclass
+class CheckRun:
+    """One full ``repro check`` invocation over the matrix."""
+
+    cells: list[CellCheck] = field(default_factory=list)
+    mutants: dict[str, list[MutantOutcome]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        cells_ok = all(c.ok for c in self.cells)
+        mutants_ok = all(
+            oc.caught for outcomes in self.mutants.values() for oc in outcomes
+        )
+        return cells_ok and mutants_ok
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "cells": [c.to_json() for c in self.cells],
+            "mutants": {
+                key: [
+                    {
+                        "mutant": oc.mutant,
+                        "expected_lint": oc.expected_lint,
+                        "failed_lints": oc.failed_lints,
+                        "caught": oc.caught,
+                        "verify_exit_code": oc.report.exit_code,
+                    }
+                    for oc in outcomes
+                ]
+                for key, outcomes in self.mutants.items()
+            },
+        }
+
+
+def _select_cells(
+    cells: Sequence[WorkloadCell], only: Iterable[str] | None
+) -> list[WorkloadCell]:
+    if not only:
+        return list(cells)
+    wanted = set(only)
+    chosen = [c for c in cells if c.key in wanted]
+    missing = wanted - {c.key for c in chosen}
+    if missing:
+        known = ", ".join(c.key for c in cells)
+        raise ValueError(f"unknown cell(s) {sorted(missing)}; known cells: {known}")
+    return chosen
+
+
+def run_check(
+    lints: tuple[str, ...] = LINT_NAMES,
+    cells: Sequence[WorkloadCell] = DEFAULT_MATRIX,
+    only: Iterable[str] | None = None,
+    seed: int = 0,
+) -> CheckRun:
+    """Certify obliviousness and run the requested lints on each cell."""
+    run = CheckRun()
+    for cell in _select_cells(cells, only):
+        factor = cell.build_factor()
+        certificate = certify_oblivious(factor, cell.r, backend=cell.backend, seed=seed)
+        report = None
+        if lints:
+            s2_model, routing_model = _analytic_models(cell)
+            report = verify_dag(
+                certificate.dag,
+                network=ProductGraph(factor, cell.r),
+                lints=lints,
+                s2_model_rounds=s2_model,
+                routing_model_rounds=routing_model,
+            )
+        run.cells.append(CellCheck(cell=cell, certificate=certificate, report=report))
+    return run
+
+
+def run_mutants(
+    cells: Sequence[WorkloadCell] = MUTANT_CELLS,
+    seed: int = 0,
+) -> dict[str, list[MutantOutcome]]:
+    """Run the seeded-fault harness over the canonical mutant cells."""
+    outcomes: dict[str, list[MutantOutcome]] = {}
+    for cell in cells:
+        outcomes[cell.key] = run_mutant_harness(
+            cell.build_factor(), cell.r, backend=cell.backend, seed=seed
+        )
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+def render_check(run: CheckRun, verbose: bool = False) -> str:
+    """Human-readable summary table plus any findings."""
+    lines = []
+    header = (
+        f"{'cell':<22} {'verdict':<8} {'oblivious':<10} {'phases':>6} "
+        f"{'rounds':>6} {'depth':>6} {'dirty/N^2':>10} {'dead':>5}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for check in run.cells:
+        dag = check.certificate.dag
+        zo = check.report.results.get("zero-one") if check.report else None
+        dirty = (
+            f"{zo.stats.get('lemma1_max_dirty', '?')}/{zo.stats.get('lemma1_bound', '?')}"
+            if zo
+            else "-"
+        )
+        dead = str(zo.stats.get("dead_comparators", "-")) if zo else "-"
+        verdict = "ok" if check.ok else "FAIL"
+        oblivious = "ok" if check.certificate.ok else "FAIL"
+        lines.append(
+            f"{check.cell.key:<22} {verdict:<8} {oblivious:<10} "
+            f"{len(dag.phases):>6} {len(dag.rounds):>6} {dag.depth:>6} "
+            f"{dirty:>10} {dead:>5}"
+        )
+    for check in run.cells:
+        if check.report is None:
+            continue
+        for res in check.report.results.values():
+            for f in res.findings:
+                if f.advisory and not verbose:
+                    continue
+                tag = "note" if f.advisory else "FAIL"
+                lines.append(f"[{tag}] {check.cell.key} {res.lint}: {f.message}")
+        if not check.certificate.ok:
+            lines.append(f"[FAIL] {check.cell.key} oblivious: schedule hash varies "
+                         f"with key values — {check.certificate.hashes}")
+    if run.mutants:
+        lines.append("")
+        lines.append(render_mutants(run.mutants))
+    return "\n".join(lines)
+
+
+def render_mutants(outcomes: dict[str, list[MutantOutcome]]) -> str:
+    lines = ["mutant harness (each seeded fault must be caught by its lint):"]
+    caught = total = 0
+    for key, cell_outcomes in outcomes.items():
+        for oc in cell_outcomes:
+            total += 1
+            caught += oc.caught
+            lines.append(f"  {key}: {oc.describe()}")
+    lines.append(f"caught {caught}/{total}")
+    return "\n".join(lines)

@@ -1,0 +1,262 @@
+"""Seeded fault injection: prove the lints have teeth.
+
+Each :class:`Mutant` applies one deliberate fault class to an extracted
+:class:`~repro.staticcheck.dag.ComparatorDAG` and declares which lint must
+catch it:
+
+``drop_cleanup_sort``
+    Remove the final clean-up block-sort phase of the outermost merge.  The
+    two transposition passes leave blocks internally disordered for some 0-1
+    input, so **zero-one** certification must fail (it is exactly the step
+    Lemma 1's clean-up argument needs).
+``skip_transposition``
+    Remove one live odd-even transposition phase.  Besides breaking sorting
+    for most geometries, this always breaks the Lemma 3 / Theorem 1 call
+    structure — the **depth** lint is the reliable detector (on degenerate
+    cells the skipped pass may have had nothing to exchange, so zero-one
+    alone could legitimately stay green).
+``swap_direction``
+    Reverse the direction of one live transposition comparator (max now
+    lands on the lower-ranked block).  The pair still lies inside one factor
+    subgraph and the round structure is untouched, so only **zero-one**
+    semantics can expose it.
+``double_book``
+    Duplicate an existing comparator inside its round.  The pair is
+    link-legal and min/max idempotent — semantically invisible — but a node
+    now engages two operations in one synchronous round, which the
+    **races** lint must reject (one key per node per round, §4).
+
+The classes are chosen to be pairwise distinguishable: each one is invisible
+to at least one lint that catches another, so a checker passing the whole
+harness demonstrably needs all of its lints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..graphs.base import FactorGraph
+from ..graphs.product import ProductGraph
+from .dag import ComparatorDAG, ComparatorOp, SchedulePhase, ScheduleRound
+from .extract import extract_schedule
+from .lints import LINT_NAMES, VerificationReport, verify_dag
+
+__all__ = [
+    "Mutant",
+    "MutantOutcome",
+    "MUTANTS",
+    "apply_mutant",
+    "run_mutant_harness",
+]
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One seeded fault class and the lint that must catch it."""
+
+    name: str
+    description: str
+    expected_lint: str
+    apply: Callable[[ComparatorDAG], ComparatorDAG]
+
+
+def _rebuild(
+    dag: ComparatorDAG,
+    phases: list[SchedulePhase],
+    rounds: list[ScheduleRound],
+    mutant: str,
+) -> ComparatorDAG:
+    """Reindex phases/rounds and stamp the mutant name into the metadata."""
+    phase_map = {p.index: i for i, p in enumerate(phases)}
+    new_phases = tuple(
+        SchedulePhase(
+            index=i,
+            path=p.path,
+            kind=p.kind,
+            dim=p.dim,
+            charged_rounds=p.charged_rounds,
+        )
+        for i, p in enumerate(phases)
+    )
+    new_rounds = tuple(
+        ScheduleRound(
+            index=i,
+            phase=phase_map[rd.phase],
+            charge=rd.charge,
+            comparators=rd.comparators,
+            block_sorts=rd.block_sorts,
+        )
+        for i, rd in enumerate(rounds)
+    )
+    meta = dict(dag.meta)
+    meta["mutant"] = mutant
+    return ComparatorDAG(
+        backend=dag.backend,
+        factor=dag.factor,
+        n=dag.n,
+        r=dag.r,
+        num_nodes=dag.num_nodes,
+        phases=new_phases,
+        rounds=new_rounds,
+        meta=meta,
+    )
+
+
+def _live_routing_phases(dag: ComparatorDAG) -> list[SchedulePhase]:
+    return [
+        p
+        for p in dag.phases
+        if p.kind == "routing"
+        and any(rd.comparators for rd in dag.phase_rounds(p.index))
+    ]
+
+
+def _drop_phase(dag: ComparatorDAG, phase: SchedulePhase, mutant: str) -> ComparatorDAG:
+    phases = [p for p in dag.phases if p.index != phase.index]
+    rounds = [rd for rd in dag.rounds if rd.phase != phase.index]
+    return _rebuild(dag, phases, rounds, mutant)
+
+
+def _mutate_drop_cleanup_sort(dag: ComparatorDAG) -> ComparatorDAG:
+    targets = [p for p in dag.phases if p.leaf == "final-block-sorts"]
+    if not targets:
+        raise ValueError("schedule has no clean-up block sorts to drop (r < 3)")
+    return _drop_phase(dag, targets[-1], "drop_cleanup_sort")
+
+
+def _mutate_skip_transposition(dag: ComparatorDAG) -> ComparatorDAG:
+    live = _live_routing_phases(dag)
+    if not live:
+        raise ValueError("schedule has no live transposition to skip (r < 3)")
+    return _drop_phase(dag, live[0], "skip_transposition")
+
+
+def _mutate_swap_direction(dag: ComparatorDAG) -> ComparatorDAG:
+    live = _live_routing_phases(dag)
+    if not live:
+        raise ValueError("schedule has no transposition comparator to swap (r < 3)")
+    target = live[0].index
+    rounds = list(dag.rounds)
+    for i, rd in enumerate(rounds):
+        if rd.phase == target and rd.comparators:
+            op = rd.comparators[0]
+            flipped = (ComparatorOp(lo=op.hi, hi=op.lo),) + rd.comparators[1:]
+            rounds[i] = ScheduleRound(
+                index=rd.index,
+                phase=rd.phase,
+                charge=rd.charge,
+                comparators=flipped,
+                block_sorts=rd.block_sorts,
+            )
+            break
+    return _rebuild(dag, list(dag.phases), rounds, "swap_direction")
+
+
+def _mutate_double_book(dag: ComparatorDAG) -> ComparatorDAG:
+    rounds = list(dag.rounds)
+    for i, rd in enumerate(rounds):
+        if rd.comparators:
+            rounds[i] = ScheduleRound(
+                index=rd.index,
+                phase=rd.phase,
+                charge=rd.charge,
+                comparators=rd.comparators + (rd.comparators[0],),
+                block_sorts=rd.block_sorts,
+            )
+            return _rebuild(dag, list(dag.phases), rounds, "double_book")
+    raise ValueError("schedule has no comparator round to double-book")
+
+
+#: the four seeded fault classes, in canonical order
+MUTANTS: tuple[Mutant, ...] = (
+    Mutant(
+        "drop_cleanup_sort",
+        "remove the outermost merge's final clean-up block-sort phase",
+        "zero-one",
+        _mutate_drop_cleanup_sort,
+    ),
+    Mutant(
+        "skip_transposition",
+        "remove one live odd-even transposition phase",
+        "depth",
+        _mutate_skip_transposition,
+    ),
+    Mutant(
+        "swap_direction",
+        "reverse the direction of one live transposition comparator",
+        "zero-one",
+        _mutate_swap_direction,
+    ),
+    Mutant(
+        "double_book",
+        "duplicate a comparator so a node engages twice in one round",
+        "races",
+        _mutate_double_book,
+    ),
+)
+
+
+def apply_mutant(dag: ComparatorDAG, name: str) -> ComparatorDAG:
+    """Apply the named fault class to a DAG."""
+    for mutant in MUTANTS:
+        if mutant.name == name:
+            return mutant.apply(dag)
+    raise ValueError(f"unknown mutant {name!r} (expected one of "
+                     f"{[m.name for m in MUTANTS]})")
+
+
+@dataclass
+class MutantOutcome:
+    """Result of pushing one mutated schedule through the verifier."""
+
+    mutant: str
+    expected_lint: str
+    failed_lints: list[str]
+    report: VerificationReport = field(repr=False)
+
+    @property
+    def caught(self) -> bool:
+        """The mutation was detected *by the lint that owns its fault class*."""
+        return self.expected_lint in self.failed_lints
+
+    def describe(self) -> str:
+        if self.caught:
+            return (
+                f"{self.mutant}: CAUGHT by {self.expected_lint} "
+                f"(verify exit 1; all failed lints: {', '.join(self.failed_lints)})"
+            )
+        return (
+            f"{self.mutant}: ESCAPED — expected {self.expected_lint}, "
+            f"failed lints: {', '.join(self.failed_lints) or 'none'}"
+        )
+
+
+def run_mutant_harness(
+    factor: FactorGraph,
+    r: int,
+    backend: str = "machine",
+    seed: int = 0,
+    lints: tuple[str, ...] = LINT_NAMES,
+) -> list[MutantOutcome]:
+    """Extract the real schedule, seed each fault class, verify each mutant.
+
+    Every outcome carries the full :class:`VerificationReport` of the mutated
+    DAG; the harness passes only when all four mutants are caught by their
+    corresponding lint.
+    """
+    base = extract_schedule(factor, r, backend=backend, seed=seed).dag
+    network = ProductGraph(factor, r)
+    outcomes = []
+    for mutant in MUTANTS:
+        mutated = mutant.apply(base)
+        report = verify_dag(mutated, network=network, lints=lints)
+        outcomes.append(
+            MutantOutcome(
+                mutant=mutant.name,
+                expected_lint=mutant.expected_lint,
+                failed_lints=report.failed_lints,
+                report=report,
+            )
+        )
+    return outcomes

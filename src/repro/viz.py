@@ -21,7 +21,6 @@ testable and usable in docs, examples and bug reports.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from typing import Any
 
 import numpy as np
 

@@ -17,7 +17,7 @@ from repro.analysis.complexity import (
 from repro.core.lattice_sort import ProductNetworkSorter
 from repro.core.multiway_merge import multiway_merge
 from repro.core.sorting import multiway_merge_sort
-from repro.graphs import ProductGraph, cycle_graph, k2, path_graph
+from repro.graphs import cycle_graph, k2, path_graph
 from repro.orders import lattice_to_sequence, sequence_to_lattice
 from repro.sorters2d import AnalyticSorterModel, ConstantRoutingModel
 

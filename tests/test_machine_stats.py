@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.machine_sort import MachineSorter
 from repro.graphs import ProductGraph, complete_binary_tree, path_graph
