@@ -20,13 +20,20 @@ from repro.core.verification import (
     measure_dirty_area,
     zero_one_merge_inputs,
 )
+from repro.observability import CallbackSubscriber, EventBus
+
+
+def _capture_bus(captured: dict) -> EventBus:
+    bus = EventBus()
+    bus.subscribe(CallbackSubscriber(lambda e, p: captured.update({e: p})))
+    return bus
 
 
 def _worst_dirty_exhaustive(n: int) -> int:
     worst = 0
     for seqs in zero_one_merge_inputs(n, n * n):
-        captured = {}
-        multiway_merge(seqs, trace=lambda e, p: captured.update({e: p}))
+        captured: dict = {}
+        multiway_merge(seqs, tracer=_capture_bus(captured))
         worst = max(worst, measure_dirty_area(captured["step3_D"]))
     return worst
 
@@ -38,8 +45,8 @@ def _worst_dirty_sampled(n: int, k: int, trials: int, seed: int) -> int:
     for _ in range(trials):
         zero_counts = [rnd.randint(0, m) for _ in range(n)]
         seqs = [[0] * z + [1] * (m - z) for z in zero_counts]
-        captured = {}
-        multiway_merge(seqs, trace=lambda e, p: captured.update({e: p}))
+        captured: dict = {}
+        multiway_merge(seqs, tracer=_capture_bus(captured))
         worst = max(worst, measure_dirty_area(captured["step3_D"]))
     return worst
 
@@ -80,8 +87,8 @@ def test_lemma1_general_keys_displacement(benchmark, rng):
         worst = 0
         for _ in range(100):
             seqs = [sorted(rng.integers(0, 40, size=m).tolist()) for _ in range(n)]
-            captured = {}
-            multiway_merge(seqs, trace=lambda e, p: captured.update({e: p}))
+            captured: dict = {}
+            multiway_merge(seqs, tracer=_capture_bus(captured))
             worst = max(worst, max_displacement(captured["step3_D"]))
         return worst
 

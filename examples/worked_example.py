@@ -17,6 +17,7 @@ import numpy as np
 from repro import path_graph
 from repro.core.lattice_sort import ProductNetworkSorter
 from repro.core.multiway_merge import distribute, multiway_merge
+from repro.observability import CallbackSubscriber, EventBus
 from repro.orders import lattice_to_sequence, sequence_to_lattice
 
 A = {
@@ -55,9 +56,9 @@ def main() -> None:
 
     sorter = ProductNetworkSorter.for_factor(path_graph(3), 3)
     states: dict[str, np.ndarray] = {}
-    merged, ledger = sorter.merge_sorted_subgraphs(
-        lattice, trace=lambda e, lat: states.update({e: lat})
-    )
+    bus = EventBus()
+    bus.subscribe(CallbackSubscriber(lambda e, lat: states.update({e: lat})))
+    merged, ledger = sorter.merge_sorted_subgraphs(lattice, tracer=bus)
 
     for event, caption in FIGURE_FOR_EVENT.items():
         show(states[event], caption)

@@ -30,6 +30,7 @@ from ..graphs import (
     petersen_graph,
     random_connected_graph,
 )
+from ..observability import CallbackSubscriber, EventBus
 from ..orders import lattice_to_sequence
 
 __all__ = ["generate_report"]
@@ -40,8 +41,10 @@ def _section_lemma1(max_n: int) -> str:
     for n in range(2, max_n + 1):
         worst = 0
         for seqs in zero_one_merge_inputs(n, n * n):
-            captured = {}
-            multiway_merge(seqs, trace=lambda e, p: captured.update({e: p}))
+            captured: dict = {}
+            bus = EventBus()
+            bus.subscribe(CallbackSubscriber(lambda e, p: captured.update({e: p})))
+            multiway_merge(seqs, tracer=bus)
             worst = max(worst, measure_dirty_area(captured["step3_D"]))
         rows.append([n, n * n, worst, "tight" if worst == n * n else "slack"])
     table = format_markdown_table(["N", "bound N^2", "worst dirty seen", "status"], rows)

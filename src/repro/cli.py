@@ -114,13 +114,16 @@ def _cmd_hypercube(args: argparse.Namespace) -> int:
 def _cmd_dirty_area(args: argparse.Namespace) -> int:
     from .core.multiway_merge import multiway_merge
     from .core.verification import DirtyAreaProbe, zero_one_merge_inputs
+    from .observability import CallbackSubscriber, EventBus
 
     records = []
     for n in range(2, args.max_n + 1):
         m = n * n
         probe = DirtyAreaProbe()
+        bus = EventBus()
+        bus.subscribe(CallbackSubscriber(probe))
         for seqs in zero_one_merge_inputs(n, m):
-            multiway_merge(seqs, trace=probe)
+            multiway_merge(seqs, tracer=bus)
         records.append(
             {"n": n, "m": m, "bound": n * n, "max_dirty": probe.max_dirty,
              "ok": probe.max_dirty <= n * n}
@@ -266,6 +269,7 @@ def _cmd_gray(args: argparse.Namespace) -> int:
 def _cmd_worked_example(args: argparse.Namespace) -> int:
     from .core.lattice_sort import ProductNetworkSorter
     from .graphs import path_graph
+    from .observability import CallbackSubscriber, EventBus
     from .orders import lattice_to_sequence, sequence_to_lattice
 
     a0 = [0, 4, 4, 5, 5, 7, 8, 8, 9]
@@ -285,7 +289,9 @@ def _cmd_worked_example(args: argparse.Namespace) -> int:
 
     print("input: the paper's three sorted sequences on [u]PG^3_2 (Fig. 12)")
     show("initial", lattice)
-    out, ledger = sorter.merge_sorted_subgraphs(lattice, trace=show)
+    bus = EventBus()
+    bus.subscribe(CallbackSubscriber(show))
+    out, ledger = sorter.merge_sorted_subgraphs(lattice, tracer=bus)
     print("snake sequence:", list(lattice_to_sequence(out)))
     print(ledger)
     return 0
@@ -294,23 +300,32 @@ def _cmd_worked_example(args: argparse.Namespace) -> int:
 def _cmd_bench_run(args: argparse.Namespace) -> int:
     from .observability.benchreg import DEFAULT_MATRIX, bench_path, run_matrix, write_document
 
-    doc = run_matrix(DEFAULT_MATRIX, seed=args.seed, label=args.label)
+    batch = args.batch if args.compiled else None
+    doc = run_matrix(DEFAULT_MATRIX, seed=args.seed, label=args.label, compiled_batch=batch)
     path = args.out if args.out else bench_path(args.label)
     write_document(doc, path)
     bad = [
         c["cell"]
         for c in doc["cells"]
-        if not (c["sorted_ok"] and c["conformance"]["ok"])
+        if not (c["sorted_ok"] and c["conformance"]["ok"]
+                and c.get("compiled", {}).get("matches", True))
     ]
     print(f"wrote {path}: {len(doc['cells'])} cells, schema v{doc['schema_version']}")
     for cell in doc["cells"]:
         m = cell["metrics"]
-        print(
+        line = (
             f"  {cell['cell']:<24} rounds={m['total_rounds']:>5}  "
             f"comparisons={m['comparisons']:>7}  spans={m['span_count']:>3}  "
             f"wall={m['wall_time_s'] * 1e3:.1f}ms  "
             f"conformance={'ok' if cell['conformance']['ok'] else 'FAILED'}"
         )
+        compiled = cell.get("compiled")
+        if compiled is not None:
+            line += (
+                f"  compiled={compiled['speedup']:.1f}x/"
+                f"{compiled['layers']}L(batch {compiled['batch']})"
+            )
+        print(line)
     if bad:
         print(f"CONFORMANCE FAILURES: {', '.join(bad)}", file=sys.stderr)
         return 1
@@ -329,7 +344,12 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
     if args.candidate:
         candidate = load_document(args.candidate)
     else:
-        candidate = run_matrix(DEFAULT_MATRIX, seed=args.seed, label="candidate")
+        candidate = run_matrix(
+            DEFAULT_MATRIX,
+            seed=args.seed,
+            label="candidate",
+            compiled_batch=args.batch if args.compiled else None,
+        )
     baseline_path = args.baseline or find_baseline(".", exclude=args.candidate)
     if baseline_path is None:
         print(
@@ -412,7 +432,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
     ]
     lints = tuple(selected) if selected else LINT_NAMES
     try:
-        run = run_check(lints=lints, only=args.cell, seed=args.seed)
+        run = run_check(lints=lints, only=args.cell, seed=args.seed,
+                        compiled=args.compiled)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -530,6 +551,13 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--label", type=str, default="local", help="snapshot label (file name suffix)")
     b.add_argument("--seed", type=int, default=0)
     b.add_argument("--out", type=str, default=None, help="explicit output path (default BENCH_<label>.json in cwd)")
+    b.add_argument(
+        "--compiled",
+        action="store_true",
+        help="also benchmark the compiled batch kernel against the interpreted "
+        "lattice path on every lattice cell",
+    )
+    b.add_argument("--batch", type=int, default=256, help="batch size for --compiled")
     b.set_defaults(func=_cmd_bench_run)
 
     b = bench_sub.add_parser(
@@ -546,6 +574,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also gate wall time, at this relative tolerance (e.g. 1.0 = 2x); off by default",
     )
     b.add_argument("--json", action="store_true", help="machine-readable comparison")
+    b.add_argument(
+        "--compiled",
+        action="store_true",
+        help="when running the candidate matrix, include the compiled-kernel blocks",
+    )
+    b.add_argument("--batch", type=int, default=256, help="batch size for --compiled")
     b.set_defaults(func=_cmd_bench_compare)
 
     b = bench_sub.add_parser(
@@ -575,6 +609,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--mutants",
         action="store_true",
         help="also run the seeded-fault harness (each mutant must be caught by its lint)",
+    )
+    p.add_argument(
+        "--compiled",
+        action="store_true",
+        help="also require the compiled batch kernel to match the reference replay",
     )
     p.add_argument(
         "--cell",

@@ -33,9 +33,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..machine.metrics import CostLedger
-from ..observability import Tracer, coerce_tracer
+from ..observability import coerce_tracer, point_emitter
 from ..orders.snake import lattice_to_sequence
-from .lattice_sort import ProductNetworkSorter, SortOutcome, Trace
+from .lattice_sort import ProductNetworkSorter, SortOutcome
+from .multiway_merge import Emit, TracerLike
 
 __all__ = ["AdaptiveProductNetworkSorter"]
 
@@ -63,12 +64,11 @@ class AdaptiveProductNetworkSorter(ProductNetworkSorter):
         self.steps4_executed = 0
 
     # ------------------------------------------------------------------
-    def sort_lattice(
-        self, lattice: np.ndarray, trace: Trace = None, tracer: Tracer | None = None
-    ) -> SortOutcome:
+    def sort_lattice(self, lattice: np.ndarray, tracer: TracerLike = None) -> SortOutcome:
         # the adaptive variant may skip Step 4s, so its span tree does NOT
         # reproduce Theorem 1's counts; tagged with its own backend name
         tracer = coerce_tracer(tracer)
+        emit = point_emitter(tracer)
         a = np.array(lattice, copy=True)
         if a.shape != self.network.shape:
             raise ValueError(f"lattice shape {a.shape} != network shape {self.network.shape}")
@@ -87,20 +87,18 @@ class AdaptiveProductNetworkSorter(ProductNetworkSorter):
                 ledger.charge_s2(self.sorter2d.rounds(n), detail="initial PG2 block sorts")
                 if not tracer.disabled:
                     sp.set(rounds=self.sorter2d.rounds(n))
-            if trace is not None:
-                trace("initial_sorted", a.copy())
+            if emit is not None:
+                emit("initial_sorted", a.copy())
 
             for j in range(3, r + 1):
                 sub = a.reshape((-1,) + (n,) * j)
                 with tracer.span("merge-round", dim=j, groups=sub.shape[0]):
-                    self._merge_batch([sub[s] for s in range(sub.shape[0])], ledger, trace)
-                if trace is not None:
-                    trace(f"after_merge_round_{j}", a.copy())
+                    self._merge_batch([sub[s] for s in range(sub.shape[0])], ledger, emit)
+                if emit is not None:
+                    emit(f"after_merge_round_{j}", a.copy())
         return SortOutcome(a, ledger)
 
-    def merge_sorted_subgraphs(
-        self, lattice: np.ndarray, trace: Trace = None, tracer: Tracer | None = None
-    ) -> SortOutcome:
+    def merge_sorted_subgraphs(self, lattice: np.ndarray, tracer: TracerLike = None) -> SortOutcome:
         self.steps4_skipped = 0
         self.steps4_executed = 0
         a = np.array(lattice, copy=True)
@@ -111,11 +109,12 @@ class AdaptiveProductNetworkSorter(ProductNetworkSorter):
             if np.any(seq[:-1] > seq[1:]):
                 raise ValueError(f"input subgraph [{u}]PG_{self.r - 1} is not snake-sorted")
         ledger = CostLedger(keep_log=self.keep_log)
-        self._merge_batch([a], ledger, trace)
+        tracer = coerce_tracer(tracer)
+        self._merge_batch([a], ledger, point_emitter(tracer))
         return SortOutcome(a, ledger)
 
     # ------------------------------------------------------------------
-    def _merge_batch(self, views: list[np.ndarray], ledger: CostLedger, trace: Trace) -> None:
+    def _merge_batch(self, views: list[np.ndarray], ledger: CostLedger, emit: Emit) -> None:
         """Merge all same-level views in lockstep with one skip decision."""
         k = views[0].ndim
         n = self.n
@@ -126,9 +125,9 @@ class AdaptiveProductNetworkSorter(ProductNetworkSorter):
             return
 
         # Step 2 (Steps 1/3 free): recurse on every [x]PG^1 of every view
-        self._merge_batch([v[..., x] for v in views for x in range(n)], ledger, trace)
-        if trace is not None and len(views) == 1:
-            trace(f"merge{k}_after_step2", views[0].copy())
+        self._merge_batch([v[..., x] for v in views for x in range(n)], ledger, emit)
+        if emit is not None and len(views) == 1:
+            emit(f"merge{k}_after_step2", views[0].copy())
 
         # level-consistent clean check
         clean = all(
@@ -138,10 +137,10 @@ class AdaptiveProductNetworkSorter(ProductNetworkSorter):
         ledger.charge_routing(self.check_rounds, detail=f"adaptive clean check (k={k})")
         if clean:
             self.steps4_skipped += 1
-            if trace is not None and len(views) == 1:
-                trace(f"merge{k}_step4_skipped", views[0].copy())
+            if emit is not None and len(views) == 1:
+                emit(f"merge{k}_step4_skipped", views[0].copy())
             return
         self.steps4_executed += 1
         for i, v in enumerate(views):
             # data ops for every view; charge the parallel time once
-            super()._step4(v, ledger, charge=(i == 0), trace=trace if len(views) == 1 else None)
+            super()._step4(v, ledger, charge=(i == 0), emit=emit if len(views) == 1 else None)

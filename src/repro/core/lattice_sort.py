@@ -21,6 +21,14 @@ to a :class:`~repro.machine.metrics.CostLedger` in the paper's accounting:
   single-``G``-subgraph exchange), and re-sorts the blocks.  Charges
   ``2 S_2 + 2 R`` per merge level, exactly Lemma 3's recurrence.
 
+Since the schedule refactor the recursion above is primarily the *traced*
+executor.  The untraced path interprets the network's emitted
+:class:`~repro.schedule.ir.ComparatorDAG` instead
+(:meth:`ProductNetworkSorter.schedule` →
+:func:`repro.schedule.compiled.round_plan`): same data movement, same
+ledger, one cached plan per geometry cell — and batch workloads go through
+the layer-packed compiled kernel (see :mod:`repro.schedule.compiled`).
+
 Because the driver only pays for what it executes, the measured ledger
 reproduces Lemma 3 and Theorem 1 *structurally*: ``(r-1)**2`` two-dimensional
 sorts and ``(r-1)(r-2)`` routings for a full sort, with total rounds
@@ -30,24 +38,20 @@ fine-grained machine backend cross-validates the data movement.
 
 from __future__ import annotations
 
-from collections.abc import Callable
-from typing import Any
-
 import numpy as np
 
 from ..graphs.base import FactorGraph
 from ..graphs.product import ProductGraph
 from ..machine.metrics import CostLedger
-from ..observability import NULL_TRACER, Tracer, coerce_tracer
+from ..observability import NULL_TRACER, Tracer, coerce_tracer, point_emitter
 from ..orders.gray import rank_lattice
 from ..orders.snake import lattice_to_sequence, sequence_to_lattice
+from ..schedule import ComparatorDAG, emit_lattice_schedule, phase_detail, round_plan
 from ..sorters2d.analytic import sorter_for_factor
 from ..sorters2d.base import PublishedRoutingModel, RoutingModel, TwoDimSorterModel
+from .multiway_merge import Emit, TracerLike
 
 __all__ = ["ProductNetworkSorter", "SortOutcome"]
-
-#: optional observer: trace(event_name, lattice_view_copy)
-Trace = Callable[[str, Any], None] | None
 
 
 class SortOutcome(tuple):
@@ -130,9 +134,19 @@ class ProductNetworkSorter:
         """Number of dimensions."""
         return self.network.r
 
-    def sort_lattice(
-        self, lattice: np.ndarray, trace: Trace = None, tracer: Tracer | None = None
-    ) -> SortOutcome:
+    def schedule(self) -> ComparatorDAG:
+        """The network's emitted Schedule IR under this sorter's cost models.
+
+        Cached per ``(factor, n, r, S_2, R)`` cell; the artifact every
+        untraced sort interprets and the compiled batch kernel packs."""
+        return emit_lattice_schedule(
+            self.network.factor,
+            self.r,
+            self.sorter2d.rounds(self.n),
+            self.routing.rounds(self.n),
+        )
+
+    def sort_lattice(self, lattice: np.ndarray, tracer: TracerLike = None) -> SortOutcome:
         """Sort a key lattice into snake order (§3.3 driver).
 
         Returns a fresh sorted lattice plus the cost ledger; the input is
@@ -140,13 +154,23 @@ class ProductNetworkSorter:
         span tree following the *parallel-time* accounting (spans wrap
         exactly the charged phases), so a full sort contains ``(r-1)**2``
         spans of kind ``s2`` and ``(r-1)(r-2)`` of kind ``routing`` —
-        Theorem 1 read off telemetry.
+        Theorem 1 read off telemetry.  A tracer whose bus has subscribers
+        additionally receives the intermediate lattice states
+        (``initial_sorted``, ``merge3_after_step2``, ...) as ``point``
+        events.
+
+        Untraced runs skip the recursion entirely and interpret the emitted
+        schedule (:meth:`schedule`) — identical output and ledger, one
+        cached plan per geometry.
         """
         a = np.array(lattice, copy=True)
         if a.shape != self.network.shape:
             raise ValueError(f"lattice shape {a.shape} != network shape {self.network.shape}")
-        ledger = CostLedger(keep_log=self.keep_log)
         tracer = coerce_tracer(tracer)
+        if tracer.disabled and self._uses_stock_schedule():
+            return self._sort_via_schedule(a)
+        emit = point_emitter(tracer)
+        ledger = CostLedger(keep_log=self.keep_log)
         n, r = self.n, self.r
 
         with tracer.span(
@@ -161,8 +185,8 @@ class ProductNetworkSorter:
                 ledger.charge_s2(self.sorter2d.rounds(n), detail="initial PG2 block sorts")
                 if not tracer.disabled:
                     sp.set(rounds=self.sorter2d.rounds(n), blocks=blocks.shape[0])
-            if trace is not None:
-                trace("initial_sorted", a.copy())
+            if emit is not None:
+                emit("initial_sorted", a.copy())
 
             # merge rounds j = 3..r: one multiway merge inside every PG_j
             # subgraph; subgraphs run in parallel -> charge the first only.
@@ -173,25 +197,23 @@ class ProductNetworkSorter:
                         sub[s],
                         ledger,
                         charge=(s == 0),
-                        trace=trace if s == 0 else None,
                         tracer=tracer if s == 0 else NULL_TRACER,
+                        emit=emit if s == 0 else None,
                     )
-                if trace is not None:
-                    trace(f"after_merge_round_{j}", a.copy())
+                if emit is not None:
+                    emit(f"after_merge_round_{j}", a.copy())
         return SortOutcome(a, ledger)
 
-    def sort_sequence(self, keys, trace: Trace = None, tracer: Tracer | None = None) -> SortOutcome:
+    def sort_sequence(self, keys, tracer: TracerLike = None) -> SortOutcome:
         """Sort a flat key array given in node (flat-index) order."""
         keys = np.asarray(keys)
         if keys.ndim != 1 or keys.size != self.network.num_nodes:
             raise ValueError(
                 f"expected {self.network.num_nodes} keys, got shape {keys.shape}"
             )
-        return self.sort_lattice(keys.reshape(self.network.shape), trace=trace, tracer=tracer)
+        return self.sort_lattice(keys.reshape(self.network.shape), tracer=tracer)
 
-    def merge_sorted_subgraphs(
-        self, lattice: np.ndarray, trace: Trace = None, tracer: Tracer | None = None
-    ) -> SortOutcome:
+    def merge_sorted_subgraphs(self, lattice: np.ndarray, tracer: TracerLike = None) -> SortOutcome:
         """Run one top-level multiway merge (Lemma 3's ``M_r``).
 
         Requires every ``[u]PG^r_{r-1}`` slice (``lattice[u]``) to already be
@@ -206,12 +228,45 @@ class ProductNetworkSorter:
             if np.any(seq[:-1] > seq[1:]):
                 raise ValueError(f"input subgraph [{u}]PG_{self.r - 1} is not snake-sorted")
         ledger = CostLedger(keep_log=self.keep_log)
-        self._merge(a, ledger, charge=True, trace=trace, tracer=coerce_tracer(tracer))
+        tracer = coerce_tracer(tracer)
+        self._merge(a, ledger, charge=True, tracer=tracer, emit=point_emitter(tracer))
         return SortOutcome(a, ledger)
 
     def sorted_reference(self, lattice: np.ndarray) -> np.ndarray:
         """The lattice's keys placed in perfect snake order (ground truth)."""
         return sequence_to_lattice(np.sort(np.asarray(lattice), axis=None), self.n, self.r)
+
+    # ------------------------------------------------------------------
+    # schedule interpretation (the untraced path)
+    # ------------------------------------------------------------------
+    def _uses_stock_schedule(self) -> bool:
+        """Whether this sorter's data movement is the stock recursion.
+
+        Subclasses overriding any movement method (the mutation harness's
+        sabotaged sorters, experiments) must keep executing through the
+        recursion — the emitted schedule describes only the unmodified
+        algorithm."""
+        cls = type(self)
+        return (
+            cls._merge is ProductNetworkSorter._merge
+            and cls._step4 is ProductNetworkSorter._step4
+            and cls._step4_vectorised is ProductNetworkSorter._step4_vectorised
+            and cls._sort2_data is ProductNetworkSorter._sort2_data
+        )
+
+    def _sort_via_schedule(self, a: np.ndarray) -> SortOutcome:
+        """Interpret the emitted IR round by round; synthesize the ledger
+        from the phase list (phase order == the recursion's charge order)."""
+        dag = self.schedule()
+        out = round_plan(dag).run(a.reshape(-1))
+        ledger = CostLedger(keep_log=self.keep_log)
+        for phase in dag.phases:
+            detail = phase_detail(phase, "lattice")
+            if phase.kind == "s2":
+                ledger.charge_s2(phase.charged_rounds, detail=detail)
+            else:
+                ledger.charge_routing(phase.charged_rounds, detail=detail)
+        return SortOutcome(out.reshape(self.network.shape), ledger)
 
     # ------------------------------------------------------------------
     # the merge (§3.1 steps on the lattice)
@@ -221,8 +276,8 @@ class ProductNetworkSorter:
         a: np.ndarray,
         ledger: CostLedger,
         charge: bool,
-        trace: Trace,
         tracer: Tracer = NULL_TRACER,
+        emit: Emit = None,
     ) -> None:
         """Merge the ``N`` snake-sorted ``[u]PG_{k-1}`` slices of ``a``."""
         k = a.ndim
@@ -252,31 +307,25 @@ class ProductNetworkSorter:
                         a[..., v],
                         ledger,
                         charge=charge and v == 0,
-                        trace=None,
                         tracer=tracer if v == 0 else NULL_TRACER,
                     )
-            if trace is not None:
-                trace(f"merge{k}_after_step2", a.copy())
+            if emit is not None:
+                emit(f"merge{k}_after_step2", a.copy())
             # Step 3: free — D is the snake reading of the whole lattice.
             with tracer.span("interleave", kind="free", dim=k, rounds=0):
                 pass
-            if trace is not None:
-                trace(f"merge{k}_after_step3", a.copy())
+            if emit is not None:
+                emit(f"merge{k}_after_step3", a.copy())
 
-            # pass the tracer only when tracing so subclasses overriding the
-            # pre-tracer ``_step4(a, ledger, charge, trace)`` keep working
-            if tracer.disabled:
-                self._step4(a, ledger, charge, trace)
-            else:
-                self._step4(a, ledger, charge, trace, tracer)
+            self._step4(a, ledger, charge, tracer, emit)
 
     def _step4(
         self,
         a: np.ndarray,
         ledger: CostLedger,
         charge: bool,
-        trace: Trace,
         tracer: Tracer = NULL_TRACER,
+        emit: Emit = None,
     ) -> None:
         """Clean-up: alternating block sorts, two block transpositions,
         alternating block sorts (2 S_2 + 2 R).
@@ -284,10 +333,10 @@ class ProductNetworkSorter:
         Dispatches to a vectorised implementation (all blocks sorted in one
         batched ``np.sort``; profiling showed per-block Python calls
         dominating large runs); the readable per-block loop below is kept
-        for traced runs, whose observers want in-place state after every
-        sub-step.
+        for state-observed runs, whose subscribers want in-place state after
+        every sub-step.
         """
-        if trace is None:
+        if emit is None:
             self._step4_vectorised(a, ledger, charge, tracer)
             return
         k = a.ndim
@@ -319,8 +368,7 @@ class ProductNetworkSorter:
         with tracer.span("cleanup", dim=k):
             # 4a: alternating-direction block sorts (even rank ascending)
             sort_blocks(f"step4 block sorts (k={k})", "block-sorts")
-            if trace is not None:
-                trace(f"merge{k}_step4_sorted", a.copy())
+            emit(f"merge{k}_step4_sorted", a.copy())
 
             # 4b: two odd-even transposition steps between snake-consecutive
             # blocks; minima migrate to the predecessor (lower-rank) block.
@@ -339,13 +387,11 @@ class ProductNetworkSorter:
                         self.routing.rounds(n),
                         detail=f"step4 transposition parity {parity} (k={k})",
                     )
-                if trace is not None:
-                    trace(f"merge{k}_step4_transposition{parity}", a.copy())
+                emit(f"merge{k}_step4_transposition{parity}", a.copy())
 
             # 4c: final alternating block sorts
             sort_blocks(f"step4 final block sorts (k={k})", "final-block-sorts")
-            if trace is not None:
-                trace(f"merge{k}_step4_final", a.copy())
+            emit(f"merge{k}_step4_final", a.copy())
 
     def _step4_vectorised(
         self, a: np.ndarray, ledger: CostLedger, charge: bool, tracer: Tracer = NULL_TRACER

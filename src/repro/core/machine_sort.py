@@ -1,4 +1,4 @@
-"""Fine-grained backend: the §4 algorithm executed compare-exchange by
+"""Fine-grained backend: the emitted schedule executed compare-exchange by
 compare-exchange on the simulated machine.
 
 Where the lattice backend (:mod:`repro.core.lattice_sort`) moves data with
@@ -10,12 +10,25 @@ labellings).  It is the ground truth the fast backend is cross-checked
 against, and the honest answer to "how many rounds does this *actually*
 take on factor G with labelling L and executable sorter S".
 
-Parallelism is modelled breadth-first: every recursion level operates on
-*all* the subgraphs of that level simultaneously, batching their
-compare-exchange phases into shared machine super-steps — exactly how the
-disjoint subgraphs would overlap in time on real hardware.  Consequently the
-ledger shows the same ``(r-1)**2`` / ``(r-1)(r-2)`` call structure as
-Theorem 1, with measured (not modelled) round counts.
+Since the schedule refactor the backend is split in two:
+
+* **planning** (:meth:`MachineSorter._plan`) — the §3.3 recursion,
+  breadth-first over every subgraph of a level so disjoint subgraphs overlap
+  in time exactly as on real hardware.  The recursion is key-independent;
+  :func:`repro.schedule.emit.emit_machine_schedule` drives it once per
+  geometry against a zero-key machine and records the resulting
+  :class:`~repro.schedule.ir.ComparatorDAG` plus its span program.
+* **interpretation** (:meth:`MachineSorter.sort`) — replays the emitted
+  program on a machine holding the real keys: spans open with their recorded
+  attributes, each charged phase's IR rounds are issued as
+  ``compare_exchange`` super-steps (re-measuring, and asserting, the planned
+  costs), and the ledger is charged from the phase identity.  Telemetry
+  consumers — tracer, timeline, traffic recorders, the conformance checker —
+  observe a stream indistinguishable from the historical recursive driver.
+
+Consequently the ledger shows the same ``(r-1)**2`` / ``(r-1)(r-2)`` call
+structure as Theorem 1, with measured (not modelled) round counts — now by
+construction, because both backends execute the same emitted artifact.
 """
 
 from __future__ import annotations
@@ -26,6 +39,7 @@ from ..machine.machine import NetworkMachine
 from ..machine.metrics import CostLedger
 from ..observability import NULL_TRACER, MachineTimeline, Tracer, coerce_tracer
 from ..orders.gray import gray_unrank
+from ..schedule import EmittedMachineSchedule, emit_machine_schedule, phase_detail
 from ..sorters2d.base import ExecutableTwoDimSorter
 from ..sorters2d.hypercube2d import HypercubeThreeStepSorter
 from ..sorters2d.shearsort import ShearSorter
@@ -79,6 +93,7 @@ class MachineSorter:
         if sorter is None:
             sorter = HypercubeThreeStepSorter() if network.factor.n == 2 else ShearSorter()
         self.sorter = sorter
+        self._labels: list[Label] | None = None
 
     @classmethod
     def for_factor(cls, factor: FactorGraph, r: int, sorter: ExecutableTwoDimSorter | None = None):
@@ -94,6 +109,14 @@ class MachineSorter:
     def r(self) -> int:
         return self.network.r
 
+    def emitted_schedule(self) -> EmittedMachineSchedule:
+        """The geometry's emitted IR + span program (cached per cell)."""
+        return emit_machine_schedule(self)
+
+    def schedule(self):
+        """The emitted :class:`~repro.schedule.ir.ComparatorDAG`."""
+        return self.emitted_schedule().dag
+
     def sort(
         self,
         keys,
@@ -102,8 +125,9 @@ class MachineSorter:
     ) -> tuple[NetworkMachine, CostLedger]:
         """Sort flat ``keys`` (node flat-index order) into snake order.
 
-        Returns the machine (holding the sorted keys — read them with
-        ``machine.lattice()``) and the measured cost ledger.
+        Interprets the emitted schedule: returns the machine (holding the
+        sorted keys — read them with ``machine.lattice()``) and the measured
+        cost ledger.
 
         When a ``tracer`` is given, the run is recorded as a span tree of
         the charged phases with *measured* rounds and comparisons per span
@@ -111,11 +135,68 @@ class MachineSorter:
         telemetry).  When a ``timeline`` is given it is attached to the
         machine and receives every compare-exchange super-step.
         """
+        emitted = self.emitted_schedule()
+        dag = emitted.dag
         machine = NetworkMachine(self.network, keys)
         if timeline is not None:
             machine.timeline = timeline
         ledger = CostLedger()
         tracer = coerce_tracer(tracer)
+        if self._labels is None:
+            self._labels = [self.network.label_of(i) for i in range(self.network.num_nodes)]
+        labels = self._labels
+        rounds_of: dict[int, list] = {}
+        for rd in dag.rounds:
+            rounds_of.setdefault(rd.phase, []).append(rd)
+
+        stack: list[tuple] = []
+        for instr in emitted.program:
+            if instr.op == "open":
+                span = tracer.span(instr.name, **instr.attrs)
+                span.__enter__()
+                measured = 0
+                if instr.phase is not None:
+                    for rd in rounds_of.get(instr.phase, ()):
+                        pairs = [(labels[op.lo], labels[op.hi]) for op in rd.comparators]
+                        cost = machine.compare_exchange(pairs)
+                        assert cost == rd.charge, (
+                            f"interpreted round cost {cost} != planned charge {rd.charge}"
+                        )
+                        measured += cost
+                stack.append((span, instr.phase, measured))
+            else:
+                span, phase_index, measured = stack.pop()
+                if not tracer.disabled:
+                    # span_end attrs recorded at emission carry the full
+                    # merged dict (static geometry + planned costs); the
+                    # per-round assert above guarantees they match this run
+                    span.set(**instr.attrs)
+                span.__exit__(None, None, None)
+                if phase_index is not None:
+                    phase = dag.phases[phase_index]
+                    assert measured == phase.charged_rounds
+                    detail = phase_detail(phase, "machine")
+                    if phase.kind == "s2":
+                        ledger.charge_s2(measured, detail=detail)
+                    else:
+                        ledger.charge_routing(measured, detail=detail)
+
+        assert machine.rounds == ledger.total_rounds == dag.depth, (
+            "every round must be attributed"
+        )
+        return machine, ledger
+
+    # ------------------------------------------------------------------
+    # planning: the §3.3 recursion, run once per geometry by the emitter
+    # ------------------------------------------------------------------
+    def _plan(self, machine: NetworkMachine, tracer: Tracer) -> CostLedger:
+        """Drive the recursive algorithm on ``machine`` (the emission run).
+
+        Called by :func:`repro.schedule.emit.emit_machine_schedule` with a
+        zero-key planning machine and a bus-connected tracer; the recorder on
+        that bus assembles the IR from the resulting event stream.
+        """
+        ledger = CostLedger()
         root = self.network.subgraph((), ())
 
         with tracer.span(
@@ -145,9 +226,8 @@ class MachineSorter:
                 self._merge_batch(machine, self._level_views(j), ledger, tracer)
 
         assert machine.rounds == ledger.total_rounds, "every round must be attributed"
-        return machine, ledger
+        return ledger
 
-    # ------------------------------------------------------------------
     def _level_views(self, j: int) -> list[SubgraphView]:
         """All ``PG_j`` subgraphs at dimensions ``1..j`` (positions
         ``j+1..r`` fixed to every prefix)."""

@@ -12,9 +12,14 @@ into one sorted sequence of ``N**k`` keys, using only
 
 This module is deliberately network-agnostic: it manipulates Python
 sequences and is the executable specification against which the lattice and
-machine implementations are cross-checked.  A ``trace`` hook exposes every
-intermediate state (the ``B``, ``C``, ``D``, ``E/F/G/H/I`` stages of
-Figs. 6-11) for tests, the dirty-area instrumentation of Lemma 1 and the
+machine implementations are cross-checked.  Every intermediate state (the
+``B``, ``C``, ``D``, ``E/F/G/H/I`` stages of Figs. 6-11) is published as a
+``point`` event on the tracer's bus — pass an
+:class:`~repro.observability.events.EventBus` (or a
+:class:`~repro.observability.tracer.Tracer` with an active bus) as
+``tracer`` and subscribe a
+:class:`~repro.observability.events.CallbackSubscriber` to receive them;
+this feeds the tests, the dirty-area instrumentation of Lemma 1 and the
 worked example of Figs. 12-15.
 
 Step 4 is implemented in the paper's *global* formulation: blocks ``E_z`` of
@@ -31,10 +36,9 @@ local snake order; tests assert the two agree state by state.
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from typing import Any, Union
+from typing import Any
 
-from ..observability import CallbackSubscriber, EventBus, Tracer, coerce_tracer, point_event
-from ..observability.tracer import NullTracer
+from ..observability import EventBus, Tracer, coerce_tracer, point_emitter
 
 __all__ = [
     "multiway_merge",
@@ -46,16 +50,8 @@ __all__ = [
 
 #: signature of the assumed N^2-key sorter: takes the keys, returns them sorted
 Sort2 = Callable[[list[Any]], list[Any]]
-#: optional observer for the intermediate states (``step1_B`` .. ``result``).
-#: Preferred: an :class:`~repro.observability.events.EventBus` (states arrive
-#: as ``point`` events) or a :class:`~repro.observability.tracer.Tracer`
-#: (states arrive on its bus, parented under the current span).  A bare
-#: ``trace(event_name, payload)`` callable is still accepted for backward
-#: compatibility — it is wrapped in a
-#: :class:`~repro.observability.events.CallbackSubscriber` on a private bus —
-#: but new code should subscribe to a bus instead; the bare-callable form is
-#: deprecated and may go away once nothing in-tree uses it.
-Trace = Union[Callable[[str, Any], None], EventBus, Tracer, None]
+#: what public entry points accept as ``tracer``
+TracerLike = Tracer | EventBus | None
 #: optional compare-exchange override: (a, b) -> (low, high).  Defaults to the
 #: plain swap ``(min, max)``; the bulk extension passes a merge-split so each
 #: "key" can itself be a sorted run (Knuth's classic lifting: any oblivious
@@ -63,35 +59,13 @@ Trace = Union[Callable[[str, Any], None], EventBus, Tracer, None]
 #: by merge-split over pre-sorted runs).
 Exchange = Callable[[Any, Any], tuple[Any, Any]]
 
+#: an emit(name, payload) closure from :func:`point_emitter`, or None
+Emit = Callable[[str, Any], None] | None
+
 
 def _swap_exchange(a: Any, b: Any) -> tuple[Any, Any]:
     """Default compare-exchange: route the smaller atom to the low side."""
     return (b, a) if b < a else (a, b)
-
-
-def _trace_emitter(trace: Trace) -> Callable[[str, Any], None] | None:
-    """Normalise the ``trace`` argument onto the event bus.
-
-    Returns an ``emit(name, payload)`` closure (or ``None`` when tracing is
-    off).  Every form — bus, tracer, legacy callable — flows through
-    :class:`~repro.observability.events.EventBus` publication, so subscribers
-    and legacy observers see identical event streams.
-    """
-    if trace is None or isinstance(trace, NullTracer):
-        return None
-    if isinstance(trace, Tracer):
-        return lambda name, payload: trace.event(name, payload=payload)
-    if isinstance(trace, EventBus):
-        bus = trace
-    else:  # legacy bare callable (deprecated): wrap it onto a private bus
-        bus = EventBus()
-        bus.subscribe(CallbackSubscriber(trace))
-
-    def emit(name: str, payload: Any) -> None:
-        if bus.active:
-            bus.publish(point_event(name, payload))
-
-    return emit
 
 
 def default_sort2(keys: list[Any]) -> list[Any]:
@@ -161,9 +135,8 @@ def clean_dirty_area(
     d: Sequence[Any],
     n: int,
     sort2: Sort2 = default_sort2,
-    trace: Trace = None,
     exchange: Exchange = _swap_exchange,
-    tracer: Tracer | None = None,
+    tracer: TracerLike = None,
 ) -> list[Any]:
     """Step 4: clean the (<= ``N**2``-long, Lemma 1) dirty window of ``D``.
 
@@ -173,8 +146,18 @@ def clean_dirty_area(
     except for a window of at most ``N**2`` keys spanning at most two
     adjacent blocks (Lemma 2's proof, executed literally).
     """
-    emit = _trace_emitter(trace)
     tracer = coerce_tracer(tracer)
+    return _clean_dirty_area(d, n, sort2, exchange, tracer, point_emitter(tracer))
+
+
+def _clean_dirty_area(
+    d: Sequence[Any],
+    n: int,
+    sort2: Sort2,
+    exchange: Exchange,
+    tracer: Tracer,
+    emit: Emit,
+) -> list[Any]:
     block = n * n
     if len(d) % block != 0:
         raise ValueError("sequence length must be a multiple of N^2")
@@ -213,10 +196,9 @@ def clean_dirty_area(
 def multiway_merge(
     sequences: Sequence[Sequence[Any]],
     sort2: Sort2 = default_sort2,
-    trace: Trace = None,
     validate: bool = False,
     exchange: Exchange = _swap_exchange,
-    tracer: Tracer | None = None,
+    tracer: TracerLike = None,
 ) -> list[Any]:
     """Merge ``N`` sorted sequences of ``N**(k-1)`` keys each (§3.1).
 
@@ -228,26 +210,35 @@ def multiway_merge(
         and callers should sort directly).
     sort2:
         the assumed ``N**2``-key sorter (Step 2's base case and Step 4).
-    trace:
-        optional observer receiving every intermediate stage: an
-        :class:`~repro.observability.events.EventBus` (or
-        :class:`~repro.observability.tracer.Tracer`) on which the stages
-        arrive as ``point`` events, or — deprecated but still supported — a
-        bare ``trace(event_name, payload)`` callable.
     validate:
         when true, check the inputs are actually sorted (O(total) extra).
     tracer:
-        optional :class:`~repro.observability.tracer.Tracer`; the merge
-        records its recursion as a span tree (``multiway-merge`` →
-        ``distribute`` / ``column-merge`` / ``interleave`` / ``cleanup``).
-        Note this is the *sequence-level work* tree — every recursive column
+        optional :class:`~repro.observability.tracer.Tracer` or bare
+        :class:`~repro.observability.events.EventBus`; the merge records its
+        recursion as a span tree (``multiway-merge`` → ``distribute`` /
+        ``column-merge`` / ``interleave`` / ``cleanup``) and, when the bus
+        has subscribers, publishes every intermediate stage (``step1_B`` ..
+        ``result``) of the *top-level* merge as a ``point`` event.  Note the
+        spans are the *sequence-level work* tree — every recursive column
         merge appears — unlike the network backends whose spans follow
         parallel-time accounting.
 
     Returns the single sorted sequence of all ``N**k`` keys.
     """
-    emit = _trace_emitter(trace)
     tracer = coerce_tracer(tracer)
+    return _multiway_merge(
+        sequences, sort2, validate, exchange, tracer, point_emitter(tracer)
+    )
+
+
+def _multiway_merge(
+    sequences: Sequence[Sequence[Any]],
+    sort2: Sort2,
+    validate: bool,
+    exchange: Exchange,
+    tracer: Tracer,
+    emit: Emit,
+) -> list[Any]:
     n, m = _validate_inputs(sequences)
     if validate:
         for u, s in enumerate(sequences):
@@ -272,12 +263,10 @@ def multiway_merge(
                     with tracer.span("base-sort", kind="s2", n=n):
                         merged: list[Any] = sort2([key for s in col_inputs for key in s])
                 else:
-                    merged = multiway_merge(
-                        col_inputs,
-                        sort2=sort2,
-                        trace=None,
-                        exchange=exchange,
-                        tracer=None if tracer.disabled else tracer,
+                    # inner merges record spans but stay silent on the bus —
+                    # point events describe the top-level merge's stages only
+                    merged = _multiway_merge(
+                        col_inputs, sort2, False, exchange, tracer, None
                     )
             columns.append(merged)
         if emit is not None:
@@ -290,14 +279,7 @@ def multiway_merge(
             emit("step3_D", list(d))
 
         # Step 4: clean the dirty area
-        result = clean_dirty_area(
-            d,
-            n,
-            sort2=sort2,
-            trace=trace,
-            exchange=exchange,
-            tracer=None if tracer.disabled else tracer,
-        )
+        result = _clean_dirty_area(d, n, sort2, exchange, tracer, emit)
         if emit is not None:
             emit("result", list(result))
     return result

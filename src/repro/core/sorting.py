@@ -18,8 +18,15 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from typing import Any
 
-from ..observability import Tracer, coerce_tracer
-from .multiway_merge import Exchange, Sort2, Trace, _swap_exchange, default_sort2, multiway_merge
+from ..observability import coerce_tracer, point_emitter
+from .multiway_merge import (
+    Exchange,
+    Sort2,
+    TracerLike,
+    _multiway_merge,
+    _swap_exchange,
+    default_sort2,
+)
 
 __all__ = ["multiway_merge_sort", "required_order"]
 
@@ -42,10 +49,9 @@ def multiway_merge_sort(
     keys: Sequence[Any],
     n: int,
     sort2: Sort2 = default_sort2,
-    trace: Trace = None,
     on_round: Callable[[int, list[list[Any]]], None] | None = None,
     exchange: Exchange = _swap_exchange,
-    tracer: Tracer | None = None,
+    tracer: TracerLike = None,
 ) -> list[Any]:
     """Sort ``N**r`` keys by repeated multiway merging (§3.3).
 
@@ -57,17 +63,18 @@ def multiway_merge_sort(
         the radix ``N`` (the factor-graph size on the network).
     sort2:
         the assumed ``N**2``-key sorter.
-    trace:
-        forwarded to every top-level merge (inner recursive merges are not
-        traced, mirroring how the network accounts one recursion's cost).
     on_round:
         optional observer ``on_round(k, sequences)`` called after the
         initial sort (``k == 2``) and after every merge round (``k = 3..r``)
         with the current list of sorted sequences.
     tracer:
-        optional :class:`~repro.observability.tracer.Tracer`; records a
-        ``sort`` root span with one ``merge-round`` child per ``k = 3..r``,
-        each containing its merges' sequence-level span trees.
+        optional :class:`~repro.observability.tracer.Tracer` or bare
+        :class:`~repro.observability.events.EventBus`; records a ``sort``
+        root span with one ``merge-round`` child per ``k = 3..r``, each
+        containing its merges' sequence-level span trees.  When the bus has
+        subscribers, every top-level merge additionally publishes its stage
+        snapshots as ``point`` events (inner recursive merges stay silent,
+        mirroring how the network accounts one recursion's cost).
 
     Returns the fully sorted list.
     """
@@ -75,7 +82,7 @@ def multiway_merge_sort(
     if r < 2:
         raise ValueError("the algorithm sorts N**r keys for r >= 2 (§3.3)")
     tracer = coerce_tracer(tracer)
-    sub_tracer = None if tracer.disabled else tracer
+    emit = point_emitter(tracer)
 
     with tracer.span("sort", backend="sequence", n=n, r=r, keys=len(keys)):
         block = n * n
@@ -94,9 +101,7 @@ def multiway_merge_sort(
                 for g in range(0, len(sequences), n):
                     group = sequences[g : g + n]
                     merged.append(
-                        multiway_merge(
-                            group, sort2=sort2, trace=trace, exchange=exchange, tracer=sub_tracer
-                        )
+                        _multiway_merge(group, sort2, False, exchange, tracer, emit)
                     )
             sequences = merged
             if on_round is not None:

@@ -99,10 +99,12 @@ def zero_one_sequences(length: int) -> Iterator[list[int]]:
 
 
 class DirtyAreaProbe:
-    """Trace hook measuring Lemma 1's dirty area during merges.
+    """Point-event callback measuring Lemma 1's dirty area during merges.
 
-    Works with both the sequence-level merge (events ``step3_D``) and the
-    lattice sorter (events ``merge{k}_after_step3``, where the payload is a
+    Wrap it in a :class:`~repro.observability.CallbackSubscriber` on an
+    :class:`~repro.observability.EventBus` passed as ``tracer=``.  Works with
+    both the sequence-level merge (events ``step3_D``) and the lattice
+    sorter (events ``merge{k}_after_step3``, where the payload is a
     lattice whose snake sequence is measured).  After a run,
     :attr:`observations` maps each event occurrence to its measured dirty
     length and :attr:`max_dirty` holds the worst case seen.

@@ -14,13 +14,19 @@ multiway-merge sorter to that regime the way practical systems do:
   the ``c * N**2`` keys of a block and deal them back as runs;
 * everything else — snake order over nodes, merge Steps 1-4 — is unchanged.
 
+Since the schedule refactor the lifting is literal: the bulk sorter
+**interprets the same emitted** :class:`~repro.schedule.ir.ComparatorDAG`
+as the one-key backends, per geometry cell from the same cache, with each
+:class:`~repro.schedule.ir.ComparatorOp` executed as a merge-split and each
+:class:`~repro.schedule.ir.BlockSortOp` as a bulk block sort dealing runs
+back along the block's local snake order (reversed when descending — the
+run-level image of an anti-snake block sort).
+
 Correctness is Knuth's classic lifting: an *oblivious* compare-exchange
 schedule stays a sorting algorithm when compare-exchange is replaced by
 merge-split over pre-sorted runs (think of a run of 0-1 keys as its zero
-count; merge-split acts on zero counts exactly like min/max).  Our pipeline
-is oblivious — the Step-4 transpositions go through the ``exchange`` hook
-of :func:`repro.core.multiway_merge.multiway_merge` — so the lifting
-applies verbatim.
+count; merge-split acts on zero counts exactly like min/max).  The emitted
+IR is oblivious by construction, so the lifting applies verbatim.
 
 Cost: every one-key round becomes a ``c``-word round, so the modelled total
 is ``c * S_r(N)`` rounds for ``c * N**r`` keys — **rounds per key
@@ -39,11 +45,11 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
-from functools import total_ordering
 from typing import Any
 
 from ..analysis.complexity import sort_rounds
-from ..core.sorting import multiway_merge_sort, required_order
+from ..core.sorting import required_order
+from ..schedule import ComparatorDAG, emit_lattice_schedule, snake_order_nodes
 
 __all__ = ["BulkSortStats", "bulk_multiway_merge_sort"]
 
@@ -65,37 +71,47 @@ class BulkSortStats:
     one_key_equivalent_rounds: int | None
 
 
-@total_ordering
-class _Run:
-    """A sorted run of ``c`` keys; ordered lexicographically.
+def _grid_schedule(n: int, r: int) -> tuple[ComparatorDAG, int, int]:
+    """The reference grid cell's emitted IR plus its (S2, R) constants.
 
-    The order is only consulted by the *validation* paths of the one-key
-    pipeline (never by the transpositions, which use merge-split), so any
-    total order consistent with equality works.
+    Uses the hypercube instantiation for ``n = 2`` and the path-graph grid
+    otherwise — the same cells the benchreg matrix pins, so the bulk sorter
+    shares their cached schedules.  (The op structure of the lattice IR
+    depends only on ``(n, r)``; the factor fixes the per-call charges.)
     """
-
-    __slots__ = ("keys",)
-
-    def __init__(self, keys: list[Any]):
-        self.keys = keys
-
-    def __lt__(self, other: "_Run") -> bool:
-        return self.keys < other.keys
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _Run) and self.keys == other.keys
-
-
-def _grid_constants(n: int) -> tuple[int, int]:
-    """(S2, R) of the reference grid instantiation (hypercube for n = 2)."""
-    if n == 2:
-        return 3, 1
-    from ..graphs.library import path_graph
+    from ..graphs.library import k2, path_graph
     from ..sorters2d.analytic import sorter_for_factor
     from ..sorters2d.base import PublishedRoutingModel
 
-    factor = path_graph(n)
-    return sorter_for_factor(factor).rounds(n), PublishedRoutingModel(factor).rounds(n)
+    if n == 2:
+        factor, s2, routing = k2(), 3, 1
+    else:
+        factor = path_graph(n)
+        s2 = sorter_for_factor(factor).rounds(n)
+        routing = PublishedRoutingModel(factor).rounds(n)
+    return emit_lattice_schedule(factor, r, s2, routing), s2, routing
+
+
+def _interpret_bulk(dag: ComparatorDAG, runs: list[list[Any]], c: int) -> int:
+    """Execute the one-key IR over sorted runs; returns the merge-split count.
+
+    Comparators become merge-splits (low node keeps the ``c`` smallest of
+    the union); block sorts fully sort the block's ``c * N**2`` keys and
+    deal them back as runs along the recorded local snake order (reversed
+    for descending block sorts).
+    """
+    splits = 0
+    for rd in dag.rounds:
+        for op in rd.comparators:
+            merged = sorted(runs[op.lo] + runs[op.hi])
+            runs[op.lo], runs[op.hi] = merged[:c], merged[c:]
+            splits += 1
+        for blk in rd.block_sorts:
+            merged = sorted(key for node in blk.nodes for key in runs[node])
+            nodes = blk.nodes[::-1] if blk.descending else blk.nodes
+            for j, node in enumerate(nodes):
+                runs[node] = merged[j * c : (j + 1) * c]
+    return splits
 
 
 def bulk_multiway_merge_sort(
@@ -118,27 +134,17 @@ def bulk_multiway_merge_sort(
     if r < 2:
         raise ValueError("need n**r nodes with r >= 2")
 
-    # local pre-sort: each node sorts its own run (no communication)
-    runs = [_Run(sorted(keys[i * c : (i + 1) * c])) for i in range(num_nodes)]
+    dag, s2, routing = _grid_schedule(n, r)
 
-    split_count = [0]
-
-    def split_exchange(lo: _Run, hi: _Run) -> tuple[_Run, _Run]:
-        split_count[0] += 1
-        merged = sorted(lo.keys + hi.keys)
-        return _Run(merged[:c]), _Run(merged[c:])
-
-    def run_sort2(block_runs: list[_Run]) -> list[_Run]:
-        merged = sorted(k for run in block_runs for k in run.keys)
-        return [_Run(merged[i * c : (i + 1) * c]) for i in range(len(block_runs))]
-
-    sorted_runs = multiway_merge_sort(runs, n, sort2=run_sort2, exchange=split_exchange)
+    # local pre-sort: each node sorts its own run (no communication), then
+    # the one-key schedule runs verbatim with merge-split semantics
+    runs = [sorted(keys[i * c : (i + 1) * c]) for i in range(num_nodes)]
+    splits = _interpret_bulk(dag, runs, c)
 
     out: list[Any] = []
-    for run in sorted_runs:
-        out.extend(run.keys)
+    for node in snake_order_nodes(n, r):
+        out.extend(runs[node])
 
-    s2, routing = _grid_constants(n)
     one_key_rounds = sort_rounds(r, s2, routing)
 
     # the one-key network holding the same key count, when it exists
@@ -155,7 +161,7 @@ def bulk_multiway_merge_sort(
         r=r,
         keys_per_node=c,
         total_keys=len(keys),
-        split_exchanges=split_count[0],
+        split_exchanges=splits,
         modelled_rounds=c * one_key_rounds,
         one_key_equivalent_rounds=one_key_equivalent,
     )

@@ -57,7 +57,7 @@ from .export import (
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, MetricsSubscriber
 from .timeline import MachineStep, MachineTimeline
 from .topology import CongestionIndex, LinkObservatory
-from .tracer import NULL_TRACER, NullTracer, Span, Tracer, coerce_tracer
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer, coerce_tracer, point_emitter
 
 __all__ = [
     "TraceEvent",
@@ -72,6 +72,7 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "coerce_tracer",
+    "point_emitter",
     "MachineStep",
     "MachineTimeline",
     "spans_to_jsonl",

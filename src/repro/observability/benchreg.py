@@ -54,8 +54,11 @@ __all__ = [
 ]
 
 #: bump when the BENCH JSON layout changes incompatibly
-#: (v2: machine cells gained ``topology`` blocks and richer ``traffic``)
-SCHEMA_VERSION = 2
+#: (v2: machine cells gained ``topology`` blocks and richer ``traffic``;
+#: v3: every cell pins its canonical ``schedule_hash`` — an accidental
+#: schedule change fails ``repro bench compare`` — and lattice cells may
+#: carry a ``compiled`` batch-kernel speedup block)
+SCHEMA_VERSION = 3
 
 
 # ----------------------------------------------------------------------
@@ -117,8 +120,15 @@ DEFAULT_MATRIX: tuple[WorkloadCell, ...] = (
 # running cells
 # ----------------------------------------------------------------------
 
-def run_cell(cell: WorkloadCell, seed: int = 0) -> dict[str, Any]:
-    """Execute one cell under full telemetry and flatten it to a record."""
+def run_cell(
+    cell: WorkloadCell, seed: int = 0, compiled_batch: int | None = None
+) -> dict[str, Any]:
+    """Execute one cell under full telemetry and flatten it to a record.
+
+    ``compiled_batch`` (lattice cells only) additionally benchmarks the
+    layer-packed compiled kernel against the interpreted lattice path on a
+    batch of that many random key rows, landing the speedup in a
+    ``compiled`` block."""
     from ..core.lattice_sort import ProductNetworkSorter
     from ..core.machine_sort import MachineSorter
     from ..orders import lattice_to_sequence
@@ -132,7 +142,7 @@ def run_cell(cell: WorkloadCell, seed: int = 0) -> dict[str, Any]:
 
     t0 = time.perf_counter()
     if cell.backend == "machine":
-        sorter = MachineSorter.for_factor(factor, cell.r)
+        sorter: Any = MachineSorter.for_factor(factor, cell.r)
         keys = rng.integers(0, 2**31, size=sorter.network.num_nodes)
         machine, ledger = sorter.sort(keys, tracer=tracer)
         seq = lattice_to_sequence(machine.lattice())
@@ -166,6 +176,9 @@ def run_cell(cell: WorkloadCell, seed: int = 0) -> dict[str, Any]:
         "keys": int(np.asarray(seq).size),
         "seed": seed,
         "sorted_ok": sorted_ok,
+        # canonical emitted-schedule hash: a pure function of (G, N, r,
+        # backend); any drift is an accidental schedule change
+        "schedule_hash": sorter.schedule().schedule_hash(),
         "metrics": {
             "total_rounds": ledger.total_rounds,
             "s2_rounds": ledger.s2_rounds,
@@ -201,7 +214,52 @@ def run_cell(cell: WorkloadCell, seed: int = 0) -> dict[str, Any]:
         record["traffic"] = traffic
     if topology is not None:
         record["topology"] = topology
+    if compiled_batch and cell.backend == "lattice":
+        record["compiled"] = _compiled_record(sorter, compiled_batch, rng)
     return record
+
+
+def _compiled_record(sorter, batch: int, rng) -> dict[str, Any]:
+    """Benchmark the compiled batch kernel against the interpreted path.
+
+    Sorts ``batch`` independent key rows twice: row by row through the
+    lattice backend (which interprets the emitted IR per lattice) and as one
+    whole ``(batch, N**r)`` array through the layer-packed compiled kernel.
+    Both outputs are checked against the snake-order ground truth, so the
+    recorded speedup is only ever between two *correct* executions.
+    """
+    from ..schedule import compile_schedule, snake_order_nodes
+
+    dag = sorter.schedule()
+    kernel = compile_schedule(dag)  # warm the hash-keyed cache
+    keys = rng.integers(0, 2**31, size=(batch, dag.num_nodes))
+
+    t0 = time.perf_counter()
+    interpreted = np.stack(
+        [np.ravel(sorter.sort_sequence(row).lattice) for row in keys]
+    )
+    interpreted_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    compiled_out = kernel.run(keys)
+    compiled_wall = time.perf_counter() - t0
+
+    snake = snake_order_nodes(dag.n, dag.r)
+    expected = np.empty_like(keys)
+    expected[:, snake] = np.sort(keys, axis=1)
+    matches = bool(
+        np.array_equal(compiled_out, expected) and np.array_equal(interpreted, expected)
+    )
+    return {
+        "batch": int(batch),
+        "schedule_hash": kernel.schedule_hash,
+        "rounds": len(dag.rounds),
+        "layers": kernel.num_layers,
+        "matches": matches,
+        "interpreted_wall_s": interpreted_wall,
+        "compiled_wall_s": compiled_wall,
+        "speedup": interpreted_wall / compiled_wall if compiled_wall > 0 else float("inf"),
+    }
 
 
 def _traffic_record(sorter, keys) -> tuple[dict[str, Any], dict[str, Any]]:
@@ -250,6 +308,7 @@ def run_matrix(
     cells: tuple[WorkloadCell, ...] = DEFAULT_MATRIX,
     seed: int = 0,
     label: str = "local",
+    compiled_batch: int | None = None,
 ) -> dict[str, Any]:
     """Run every cell and assemble the schema-versioned snapshot document."""
     return {
@@ -257,7 +316,9 @@ def run_matrix(
         "label": label,
         "created": time.time(),
         "seed": seed,
-        "cells": [run_cell(cell, seed=seed) for cell in cells],
+        "cells": [
+            run_cell(cell, seed=seed, compiled_batch=compiled_batch) for cell in cells
+        ],
     }
 
 
@@ -328,16 +389,26 @@ DEFAULT_THRESHOLDS: dict[str, float | None] = {
     "topology.peak_buffer_depth": 0.0,
     "topology.mean_load": None,   # redundant with the totals; informational
     "topology.gini": None,
+    # compiled block (lattice cells run with a batch): layer count is
+    # structural (the ASAP packing is deterministic); the walls and the
+    # speedup are wall-clock and stay informational
+    "compiled.layers": 0.0,
+    "compiled.rounds": 0.0,
+    "compiled.batch": None,
+    "compiled.interpreted_wall_s": None,
+    "compiled.compiled_wall_s": None,
+    "compiled.speedup": None,
 }
 
 
 def _comparable_metrics(cell: dict[str, Any]) -> dict[str, float]:
-    """A cell's ``metrics`` dict plus its flattened topology scalars."""
+    """A cell's ``metrics`` dict plus flattened topology/compiled scalars."""
     out: dict[str, float] = dict(cell.get("metrics", {}))
-    for key, value in (cell.get("topology") or {}).items():
-        if isinstance(value, bool) or not isinstance(value, (int, float)):
-            continue
-        out[f"topology.{key}"] = value
+    for block in ("topology", "compiled"):
+        for key, value in (cell.get(block) or {}).items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            out[f"{block}.{key}"] = value
     return out
 
 
@@ -448,9 +519,21 @@ def compare_documents(
         if not conf.get("ok", False):
             detail = "; ".join(conf.get("deviations", [])) or "unspecified"
             result.errors.append(f"cell {key}: conformance failed ({detail})")
+        compiled = cand.get("compiled")
+        if compiled is not None and not compiled.get("matches", True):
+            result.errors.append(
+                f"cell {key}: compiled kernel output diverges from the "
+                "interpreted path / snake ground truth"
+            )
         base = base_cells.get(key)
         if base is None:
             continue
+        base_hash, cand_hash = base.get("schedule_hash"), cand.get("schedule_hash")
+        if base_hash and cand_hash and base_hash != cand_hash:
+            result.errors.append(
+                f"cell {key}: schedule hash drift {base_hash[:12]} -> "
+                f"{cand_hash[:12]} — the emitted schedule changed"
+            )
         cand_metrics = _comparable_metrics(cand)
         base_metrics = _comparable_metrics(base)
         for metric, threshold in limits.items():

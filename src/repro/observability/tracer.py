@@ -37,7 +37,7 @@ from typing import Any, Iterator
 
 from .events import EventBus, TraceEvent, clock
 
-__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "coerce_tracer"]
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "coerce_tracer", "point_emitter"]
 
 
 class Span:
@@ -277,6 +277,34 @@ class NullTracer:
 NULL_TRACER = NullTracer()
 
 
-def coerce_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
-    """Normalise an optional tracer argument to a usable tracer object."""
-    return NULL_TRACER if tracer is None else tracer
+def coerce_tracer(tracer: "Tracer | NullTracer | EventBus | None") -> "Tracer | NullTracer":
+    """Normalise an optional tracer argument to a usable tracer object.
+
+    Accepts a bare :class:`~repro.observability.events.EventBus` as well —
+    callers that only want the event stream (point events, span boundaries)
+    pass their bus and get a fresh tracer publishing onto it.  This replaced
+    the legacy ``trace=`` callable hook: subscribe a
+    :class:`~repro.observability.events.CallbackSubscriber` to a bus and
+    pass the bus.
+    """
+    if tracer is None:
+        return NULL_TRACER
+    if isinstance(tracer, EventBus):
+        return Tracer(bus=tracer)
+    return tracer
+
+
+def point_emitter(tracer: "Tracer | NullTracer"):
+    """An ``emit(name, payload)`` closure for the tracer, or ``None``.
+
+    Instrumentation sites that publish intermediate *states* (lattice
+    copies, sequence snapshots — the old ``trace`` events) call this once
+    and skip both the event and the payload copy unless someone is actually
+    listening: the emitter exists only when the tracer has an **active** bus.
+    A span-only tracer (private bus, no subscribers) therefore pays nothing
+    and its exports stay payload-free, exactly like the old ``trace=None``.
+    """
+    bus = getattr(tracer, "bus", None)
+    if bus is None or not bus.active:
+        return None
+    return lambda name, payload: tracer.event(name, payload=payload)

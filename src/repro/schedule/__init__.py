@@ -1,0 +1,55 @@
+"""The execution spine: one emitted Schedule IR, many interpreters.
+
+``repro.schedule`` owns the static schedule of the paper's algorithm:
+
+* :mod:`repro.schedule.ir` — the :class:`ComparatorDAG` datatype (phases →
+  rounds → ops), its canonical SHA-256 hash and the reference
+  :func:`replay` semantics;
+* :mod:`repro.schedule.emit` — keyless emitters producing the IR from the
+  §3.1/§3.3 recursion for both backends;
+* :mod:`repro.schedule.compiled` — the layer-packed compiled batch kernel
+  (and the per-round plan), cached by schedule hash.
+
+The lattice and machine backends interpret this artifact; the static checker
+lints it; :mod:`repro.staticcheck.extract` merely certifies that live runs
+reproduce it.  See ``docs/schedule-ir.md`` for the architecture.
+"""
+
+from .compiled import CompiledSchedule, ScheduleLayer, compile_schedule, round_plan
+from .emit import (
+    EmittedMachineSchedule,
+    SpanInstr,
+    emit_lattice_schedule,
+    emit_machine_schedule,
+    span_path_entry,
+)
+from .ir import (
+    BlockSortOp,
+    ComparatorDAG,
+    ComparatorOp,
+    SchedulePhase,
+    ScheduleRound,
+    phase_detail,
+    replay,
+    snake_order_nodes,
+)
+
+__all__ = [
+    "BlockSortOp",
+    "ComparatorDAG",
+    "ComparatorOp",
+    "CompiledSchedule",
+    "EmittedMachineSchedule",
+    "ScheduleLayer",
+    "SchedulePhase",
+    "ScheduleRound",
+    "SpanInstr",
+    "compile_schedule",
+    "emit_lattice_schedule",
+    "emit_machine_schedule",
+    "phase_detail",
+    "replay",
+    "round_plan",
+    "snake_order_nodes",
+    "span_path_entry",
+]

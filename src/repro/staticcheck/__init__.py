@@ -1,12 +1,13 @@
 """Static schedule verification for the product-network sorter.
 
 The algorithm of §3.1/§4 is data-oblivious: its compare-exchange schedule is
-a function of the geometry ``(G, N, r)`` alone.  This package makes that
-schedule a first-class static artifact — a :class:`ComparatorDAG` extracted
-from either backend without real keys mattering — and certifies it without
-re-running the sorter: obliviousness (identical DAG hash under adversarial
-key assignments), zero-one sortedness (Lemma 2, with Lemma-1 dirty-area
-early exit), synchronous-round race freedom, §4 link legality, exact
+a function of the geometry ``(G, N, r)`` alone.  The core **emits** that
+schedule as a first-class static artifact — a
+:class:`~repro.schedule.ComparatorDAG`, see :mod:`repro.schedule` — and this
+package certifies it without re-running the sorter: backend/replay
+equivalence under adversarial key assignments (obliviousness), zero-one
+sortedness (Lemma 2, with Lemma-1 dirty-area early exit),
+synchronous-round race freedom, §4 link legality, exact
 ``S_r(N)``/``M_k(N)`` depth conformance, and dead-comparator detection.
 A seeded mutant harness proves each lint has teeth.  The ``repro check``
 CLI drives everything over the canonical benchreg workload matrix.
@@ -26,6 +27,7 @@ from .extract import (
     ObliviousnessCertificate,
     adversarial_key_sets,
     certify_oblivious,
+    emit_schedule,
     extract_schedule,
 )
 from .lints import (
@@ -68,6 +70,7 @@ __all__ = [
     "ObliviousnessCertificate",
     "adversarial_key_sets",
     "certify_oblivious",
+    "emit_schedule",
     "extract_schedule",
     "LINT_NAMES",
     "LintFinding",

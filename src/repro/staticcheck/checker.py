@@ -1,8 +1,10 @@
 """Drive the static verifier over the canonical benchreg workload matrix.
 
 :func:`run_check` is what ``repro check`` executes: for every matrix cell it
-extracts the schedule under adversarial key assignments (obliviousness
-certificate), then runs the requested lints over the certified DAG.  Lattice
+emits the schedule once and cross-checks the real backend against it under
+adversarial key assignments (obliviousness certificate), then runs the
+requested lints over the certified DAG; ``compiled=True`` additionally
+requires the compiled batch kernel to agree with the reference replay.  Lattice
 cells additionally pin the depth lint to the analytic per-call round models,
 so conformance is checked against the exact published ``S_r(N)`` — the same
 convention the dynamic critical-path conformance uses.
@@ -19,9 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
+import numpy as np
+
 from ..observability.benchreg import DEFAULT_MATRIX, WorkloadCell
 from ..graphs.product import ProductGraph
-from .extract import ObliviousnessCertificate, certify_oblivious
+from ..schedule import compile_schedule, replay
+from .extract import ObliviousnessCertificate, adversarial_key_sets, certify_oblivious
 from .lints import LINT_NAMES, VerificationReport, verify_dag
 from .mutants import MutantOutcome, run_mutant_harness
 
@@ -64,16 +69,22 @@ class CellCheck:
     cell: WorkloadCell
     certificate: ObliviousnessCertificate
     report: VerificationReport | None
+    #: compiled-kernel equivalence verdict (None when not requested)
+    compiled_ok: bool | None = None
 
     @property
     def ok(self) -> bool:
         if not self.certificate.ok:
+            return False
+        if self.compiled_ok is False:
             return False
         return self.report is None or self.report.ok
 
     @property
     def failed(self) -> list[str]:
         out = [] if self.certificate.ok else ["oblivious"]
+        if self.compiled_ok is False:
+            out.append("compiled")
         if self.report is not None:
             out.extend(self.report.failed_lints)
         return out
@@ -96,6 +107,8 @@ class CellCheck:
                 "hash": self.certificate.dag.schedule_hash(),
             },
         }
+        if self.compiled_ok is not None:
+            payload["compiled"] = {"ok": self.compiled_ok}
         if self.report is not None:
             payload["lints"] = {
                 name: {
@@ -164,11 +177,24 @@ def _select_cells(
     return chosen
 
 
+def _check_compiled(certificate: ObliviousnessCertificate, seed: int) -> bool:
+    """The compiled batch kernel must agree with the reference replay.
+
+    Runs the whole adversarial key battery as one ``(batch, N^r)`` array
+    through the packed kernel and compares it row for row against
+    :func:`~repro.schedule.replay` of the same DAG.
+    """
+    dag = certificate.dag
+    batch = np.stack(list(adversarial_key_sets(dag.num_nodes, seed).values()))
+    return bool(np.array_equal(compile_schedule(dag).run(batch), replay(dag, batch)))
+
+
 def run_check(
     lints: tuple[str, ...] = LINT_NAMES,
     cells: Sequence[WorkloadCell] = DEFAULT_MATRIX,
     only: Iterable[str] | None = None,
     seed: int = 0,
+    compiled: bool = False,
 ) -> CheckRun:
     """Certify obliviousness and run the requested lints on each cell."""
     run = CheckRun()
@@ -185,7 +211,11 @@ def run_check(
                 s2_model_rounds=s2_model,
                 routing_model_rounds=routing_model,
             )
-        run.cells.append(CellCheck(cell=cell, certificate=certificate, report=report))
+        compiled_ok = _check_compiled(certificate, seed) if compiled else None
+        run.cells.append(
+            CellCheck(cell=cell, certificate=certificate, report=report,
+                      compiled_ok=compiled_ok)
+        )
     return run
 
 
@@ -241,8 +271,11 @@ def render_check(run: CheckRun, verbose: bool = False) -> str:
                 tag = "note" if f.advisory else "FAIL"
                 lines.append(f"[{tag}] {check.cell.key} {res.lint}: {f.message}")
         if not check.certificate.ok:
-            lines.append(f"[FAIL] {check.cell.key} oblivious: schedule hash varies "
-                         f"with key values — {check.certificate.hashes}")
+            lines.append(f"[FAIL] {check.cell.key} oblivious: backend diverges from "
+                         f"the emitted schedule — {check.certificate.hashes}")
+        if check.compiled_ok is False:
+            lines.append(f"[FAIL] {check.cell.key} compiled: batch kernel output "
+                         f"differs from reference replay")
     if run.mutants:
         lines.append("")
         lines.append(render_mutants(run.mutants))

@@ -1,25 +1,24 @@
-"""Schedule extraction: turn one configured sort into a :class:`ComparatorDAG`.
+"""Schedule extraction: a thin equivalence check over the emitted IR.
 
-Both backends are covered, each through the seam it already exposes:
+Historically this module *recorded* schedules by instrumenting a real run
+(an event-bus subscriber for the machine backend, a recording sorter
+subclass for the lattice backend).  The core now **emits** its own
+:class:`ComparatorDAG` — see :mod:`repro.schedule` — so extraction reduces
+to three steps:
 
-* the **machine** backend is recorded off the telemetry spine — a
-  :class:`MachineScheduleRecorder` subscribes to the event bus, rebuilds the
-  span path from ``span_start``/``span_end`` (the same phase attribution the
-  topology observatory uses) and captures every ``machine_step`` event's raw
-  pair list as one synchronous round;
-* the **lattice** backend has no per-comparator steps (block sorts are
-  atomic array operations), so :class:`RecordingLatticeSorter` subclasses
-  the sorter and records each charged phase's operations directly: block
-  sorts with their node sets in local snake order, Step-4 transpositions as
-  explicit elementwise comparator pairs.  Node identity is recovered from
-  NumPy view arithmetic — every view the recursion hands around is a basic
-  slice of the one C-contiguous key lattice, so ``(data offset, strides)``
-  identify exactly which flat node indices a view's elements live at.
+1. **emit** the schedule structurally (no keys involved) via
+   :func:`emit_schedule`;
+2. **run** the real backend on concrete keys for its output and cost
+   ledger;
+3. **check** that replaying the emitted DAG on the same keys reproduces
+   the backend's output bit for bit.
 
-Because extraction *runs the real sorter on real keys*, certifying
-obliviousness is meaningful: :func:`certify_oblivious` extracts under
+Step 3 is what makes :func:`certify_oblivious` meaningful now that the DAG
+is keyless by construction: the certificate runs the *backend* under
 several adversarial key assignments (sorted, reverse-sorted, constant,
-alternating, random) and requires bit-identical canonical DAG hashes.
+alternating, random) and requires each run to match the one static
+schedule.  A backend whose data movement depended on key values would
+diverge from the key-independent replay on some adversarial input.
 """
 
 from __future__ import annotations
@@ -29,314 +28,35 @@ from typing import Any
 
 import numpy as np
 
-from ..core.lattice_sort import ProductNetworkSorter, Trace
+from ..core.lattice_sort import ProductNetworkSorter
 from ..core.machine_sort import MachineSorter
 from ..graphs.base import FactorGraph
 from ..graphs.product import ProductGraph
 from ..machine.metrics import CostLedger
-from ..observability import EventBus, MachineTimeline, Tracer
-from ..observability.events import TraceEvent
-from ..orders.gray import rank_lattice
-from .dag import BlockSortOp, ComparatorDAG, ComparatorOp, SchedulePhase, ScheduleRound
+from ..schedule import ComparatorDAG, replay
 
 __all__ = [
     "ExtractionResult",
     "ObliviousnessCertificate",
-    "MachineScheduleRecorder",
-    "RecordingLatticeSorter",
+    "emit_schedule",
     "extract_schedule",
     "certify_oblivious",
     "adversarial_key_sets",
 ]
 
-Label = tuple[int, ...]
 
+def emit_schedule(factor: FactorGraph, r: int, backend: str = "machine") -> ComparatorDAG:
+    """Emit the static schedule for one configuration, without running keys."""
+    if backend == "machine":
+        return MachineSorter.for_factor(factor, r).schedule()
+    if backend == "lattice":
+        return ProductNetworkSorter.for_factor(factor, r).schedule()
+    raise ValueError(f"unknown backend {backend!r} (expected 'machine' or 'lattice')")
 
-def _path_entry(name: str, attrs: dict[str, Any]) -> str:
-    """Canonical path element for a span: name plus dimension and parity.
-
-    Extends :func:`repro.observability.events.phase_key` with the
-    transposition parity, so the two transpositions of one cleanup are
-    distinct phases (they are separate routing calls in Lemma 3)."""
-    dim = attrs.get("dim")
-    if dim is None:
-        return name
-    parity = attrs.get("parity")
-    if parity is None:
-        return f"{name}[d{dim}]"
-    return f"{name}[d{dim},p{parity}]"
-
-
-class _PhaseRec:
-    """Mutable phase record used during recording."""
-
-    __slots__ = ("path", "kind", "dim", "charged_rounds", "comparators", "block_sorts")
-
-    def __init__(self, path: tuple[str, ...], kind: str, dim: int | None, rounds: int) -> None:
-        self.path = path
-        self.kind = kind
-        self.dim = dim
-        self.charged_rounds = rounds
-        self.comparators: list[ComparatorOp] = []
-        self.block_sorts: list[BlockSortOp] = []
-
-
-# ----------------------------------------------------------------------
-# machine backend: record off the event bus
-# ----------------------------------------------------------------------
-
-class MachineScheduleRecorder:
-    """Event-bus subscriber assembling a :class:`ComparatorDAG`.
-
-    Subscribes to the bus a :class:`~repro.observability.tracer.Tracer` and
-    :class:`~repro.observability.timeline.MachineTimeline` publish to; every
-    ``machine_step`` becomes one :class:`ScheduleRound` attributed to the
-    innermost open charged (``s2``/``routing``) span.
-    """
-
-    def __init__(self, network: ProductGraph) -> None:
-        self.network = network
-        self.phases: list[_PhaseRec] = []
-        self._rounds: list[tuple[int, int, tuple[ComparatorOp, ...]]] = []
-        self._path: list[str] = []
-        self._charged: list[int] = []
-        self._span_phase: dict[int | None, int] = {}
-        self._flat_cache: dict[Label, int] = {}
-
-    def _flat(self, label: Label) -> int:
-        idx = self._flat_cache.get(label)
-        if idx is None:
-            idx = self.network.flat_index(label)
-            self._flat_cache[label] = idx
-        return idx
-
-    def on_event(self, event: TraceEvent) -> None:
-        if event.kind == "span_start":
-            self._path.append(_path_entry(event.name, dict(event.attrs)))
-            kind = event.attrs.get("kind")
-            if kind in ("s2", "routing"):
-                rec = _PhaseRec(tuple(self._path), str(kind), event.attrs.get("dim"), 0)
-                self.phases.append(rec)
-                self._charged.append(len(self.phases) - 1)
-                self._span_phase[event.span_id] = len(self.phases) - 1
-        elif event.kind == "span_end":
-            idx = self._span_phase.pop(event.span_id, None)
-            if idx is not None:
-                self.phases[idx].charged_rounds = int(event.attrs.get("rounds", 0))
-                self._charged.pop()
-            if self._path:
-                self._path.pop()
-        elif event.kind == "machine_step":
-            if not self._charged:
-                raise RuntimeError("machine step observed outside any charged phase span")
-            comparators = tuple(
-                ComparatorOp(self._flat(lo), self._flat(hi)) for lo, hi in event.attrs["pairs"]
-            )
-            self._rounds.append((self._charged[-1], int(event.attrs["rounds"]), comparators))
-
-    def dag(self, backend: str = "machine") -> ComparatorDAG:
-        phases = tuple(
-            SchedulePhase(index=i, path=p.path, kind=p.kind, dim=p.dim,
-                          charged_rounds=p.charged_rounds)
-            for i, p in enumerate(self.phases)
-        )
-        rounds = tuple(
-            ScheduleRound(index=i, phase=phase, charge=charge, comparators=comparators)
-            for i, (phase, charge, comparators) in enumerate(self._rounds)
-        )
-        return ComparatorDAG(
-            backend=backend,
-            factor=self.network.factor.name,
-            n=self.network.factor.n,
-            r=self.network.r,
-            num_nodes=self.network.num_nodes,
-            phases=phases,
-            rounds=rounds,
-        )
-
-
-# ----------------------------------------------------------------------
-# lattice backend: a recording sorter subclass
-# ----------------------------------------------------------------------
-
-class RecordingLatticeSorter(ProductNetworkSorter):
-    """A :class:`ProductNetworkSorter` that records its own schedule.
-
-    Executes exactly the production data movement (block sorts and Step-4
-    transpositions run through the parent class on the real keys) while
-    logging each charged phase's operations with flat node identities.  One
-    lattice phase = one :class:`ScheduleRound`: sibling subgraphs of a level
-    run in the same parallel step, so their operations land in one round —
-    mirroring the charge-once-per-level cost accounting.
-    """
-
-    def __init__(self, *args: Any, **kwargs: Any) -> None:
-        super().__init__(*args, **kwargs)
-        self._rec_reset()
-        self._snake2 = np.argsort(np.asarray(rank_lattice(self.n, 2)).ravel())
-
-    # -- recording state -------------------------------------------------
-    def _rec_reset(self) -> None:
-        self._rec_groups: dict[tuple[str, ...], _PhaseRec] = {}
-        self._rec_order: list[_PhaseRec] = []
-        self._rec_path: list[str] = ["sort"]
-        self._rec_root: np.ndarray | None = None
-        self._rec_active: _PhaseRec | None = None
-
-    def _rec_group(self, path: tuple[str, ...], kind: str, dim: int, rounds: int) -> _PhaseRec:
-        grp = self._rec_groups.get(path)
-        if grp is None:
-            grp = _PhaseRec(path, kind, dim, rounds)
-            self._rec_groups[path] = grp
-            self._rec_order.append(grp)
-        return grp
-
-    def _view_flat_ids(self, view: np.ndarray) -> np.ndarray:
-        """Flat node indices of a basic-slicing view of the key lattice.
-
-        Every view the recursion passes around shares one C-contiguous root
-        buffer whose element order *is* the flat-index order, so the view's
-        data offset and strides name its nodes exactly."""
-        root = view
-        while isinstance(root.base, np.ndarray):
-            root = root.base
-        if self._rec_root is None:
-            self._rec_root = root
-        elif root is not self._rec_root:
-            raise RuntimeError("view does not belong to the key lattice being recorded")
-        item = root.itemsize
-        offset = (view.__array_interface__["data"][0]
-                  - root.__array_interface__["data"][0]) // item
-        ids = np.full(view.shape, offset, dtype=np.intp)
-        for axis in range(view.ndim):
-            step = view.strides[axis] // item
-            shape = [1] * view.ndim
-            shape[axis] = view.shape[axis]
-            ids = ids + (np.arange(view.shape[axis], dtype=np.intp) * step).reshape(shape)
-        return ids
-
-    # -- recorded driver hooks -------------------------------------------
-    def sort_lattice(self, lattice: np.ndarray, trace: Trace = None, tracer: Any = None):
-        self._rec_reset()
-        return super().sort_lattice(lattice, trace=trace, tracer=tracer)
-
-    def _merge(self, a: np.ndarray, ledger: CostLedger, charge: bool,
-               trace: Trace, tracer: Any = None) -> None:
-        pushed = []
-        parent = self._rec_path[-1]
-        if parent.startswith("merge[d"):
-            pushed.append(f"column-merges[d{parent[len('merge[d'):-1]}]")
-        k = a.ndim
-        if k == 2:
-            pushed.append("merge-base[d2]")
-            self._rec_path.extend(pushed)
-            grp = self._rec_group(tuple(self._rec_path), "s2", 2, self.sorter2d.rounds(self.n))
-            prev, self._rec_active = self._rec_active, grp
-            try:
-                super()._merge(a, ledger, charge, trace)
-            finally:
-                self._rec_active = prev
-                del self._rec_path[-len(pushed):]
-            return
-        pushed.append(f"merge[d{k}]")
-        self._rec_path.extend(pushed)
-        try:
-            super()._merge(a, ledger, charge, trace)
-        finally:
-            del self._rec_path[-len(pushed):]
-
-    def _step4(self, a: np.ndarray, ledger: CostLedger, charge: bool,
-               trace: Trace, tracer: Any = None) -> None:
-        # recording reimplementation of the per-block Step 4: identical data
-        # movement and ledger charges, plus explicit comparator capture for
-        # the two odd-even block-transposition steps.
-        k = a.ndim
-        n = self.n
-        blocks = [a[idx] for idx in np.ndindex(a.shape[:-2])]
-        nblocks = len(blocks)
-        granks = np.asarray(rank_lattice(n, k - 2)).ravel()
-        order = np.argsort(granks)
-        parities = granks % 2
-        base_path = (*self._rec_path, f"cleanup[d{k}]")
-        s2_rounds = self.sorter2d.rounds(n)
-        routing_rounds = self.routing.rounds(n)
-
-        def sort_blocks(leaf: str, detail: str) -> None:
-            grp = self._rec_group((*base_path, leaf), "s2", k, s2_rounds)
-            prev, self._rec_active = self._rec_active, grp
-            try:
-                for g in range(nblocks):
-                    self._sort2_data(blocks[g], descending=bool(parities[g]))
-            finally:
-                self._rec_active = prev
-            if charge:
-                ledger.charge_s2(s2_rounds, detail=detail)
-
-        sort_blocks(f"block-sorts[d{k}]", f"step4 block sorts (k={k})")
-        for parity in (0, 1):
-            grp = self._rec_group(
-                (*base_path, f"transposition[d{k},p{parity}]"), "routing", k, routing_rounds
-            )
-            for z in range(parity, nblocks - 1, 2):
-                lo = blocks[order[z]]
-                hi = blocks[order[z + 1]]
-                lo_ids = self._view_flat_ids(lo).ravel()
-                hi_ids = self._view_flat_ids(hi).ravel()
-                grp.comparators.extend(
-                    ComparatorOp(int(a_id), int(b_id)) for a_id, b_id in zip(lo_ids, hi_ids)
-                )
-                mn = np.minimum(lo, hi)
-                hi[...] = np.maximum(lo, hi)
-                lo[...] = mn
-            if charge:
-                ledger.charge_routing(
-                    routing_rounds, detail=f"step4 transposition parity {parity} (k={k})"
-                )
-        sort_blocks(f"final-block-sorts[d{k}]", f"step4 final block sorts (k={k})")
-
-    def _sort2_data(self, block: np.ndarray, descending: bool) -> None:
-        grp = self._rec_active
-        if grp is None:
-            grp = self._rec_group(
-                ("sort", "initial-block-sorts[d2]"), "s2", 2, self.sorter2d.rounds(self.n)
-            )
-        ids = self._view_flat_ids(block)
-        nodes = ids.ravel()[self._snake2]
-        grp.block_sorts.append(BlockSortOp(tuple(int(x) for x in nodes), bool(descending)))
-        super()._sort2_data(block, descending)
-
-    # -- result ----------------------------------------------------------
-    def dag(self) -> ComparatorDAG:
-        phases = []
-        rounds = []
-        for i, grp in enumerate(self._rec_order):
-            phases.append(
-                SchedulePhase(index=i, path=grp.path, kind=grp.kind, dim=grp.dim,
-                              charged_rounds=grp.charged_rounds)
-            )
-            rounds.append(
-                ScheduleRound(index=i, phase=i, charge=grp.charged_rounds,
-                              comparators=tuple(grp.comparators),
-                              block_sorts=tuple(grp.block_sorts))
-            )
-        return ComparatorDAG(
-            backend="lattice",
-            factor=self.network.factor.name,
-            n=self.n,
-            r=self.r,
-            num_nodes=self.network.num_nodes,
-            phases=tuple(phases),
-            rounds=tuple(rounds),
-        )
-
-
-# ----------------------------------------------------------------------
-# public extraction API
-# ----------------------------------------------------------------------
 
 @dataclass(frozen=True)
 class ExtractionResult:
-    """One extraction run: the DAG plus the run's observable outcome."""
+    """One extraction run: the emitted DAG plus the run's observable outcome."""
 
     dag: ComparatorDAG
     #: final keys in flat node order (what the real backend produced)
@@ -344,6 +64,8 @@ class ExtractionResult:
     ledger: CostLedger
     #: the keys the extraction ran on
     keys: np.ndarray
+    #: did replaying the emitted DAG reproduce the backend's output?
+    replay_matches: bool = True
 
 
 def extract_schedule(
@@ -353,26 +75,22 @@ def extract_schedule(
     keys: Any = None,
     seed: int = 0,
 ) -> ExtractionResult:
-    """Run one sort on ``backend`` and extract its static schedule."""
+    """Emit the schedule, run ``backend`` on ``keys``, and cross-check them."""
     network = ProductGraph(factor, r)
     if keys is None:
         keys = np.random.default_rng(seed).integers(0, 2**31, size=network.num_nodes)
     keys = np.asarray(keys)
+    dag = emit_schedule(factor, r, backend)
+    ledger: CostLedger
     if backend == "machine":
-        sorter = MachineSorter.for_factor(factor, r)
-        bus = EventBus()
-        recorder = bus.subscribe(MachineScheduleRecorder(sorter.network))
-        machine, ledger = sorter.sort(
-            keys, tracer=Tracer(bus), timeline=MachineTimeline(sorter.network, bus=bus)
-        )
-        return ExtractionResult(recorder.dag(), machine.keys.copy(), ledger, keys)
-    if backend == "lattice":
-        sorter2 = RecordingLatticeSorter.for_factor(factor, r)
-        outcome = sorter2.sort_sequence(keys)
-        return ExtractionResult(
-            sorter2.dag(), np.ravel(outcome.lattice).copy(), outcome.ledger, keys
-        )
-    raise ValueError(f"unknown backend {backend!r} (expected 'machine' or 'lattice')")
+        machine, ledger = MachineSorter.for_factor(factor, r).sort(keys)
+        output = machine.keys.copy()
+    else:
+        outcome = ProductNetworkSorter.for_factor(factor, r).sort_sequence(keys)
+        output = np.ravel(outcome.lattice).copy()
+        ledger = outcome.ledger
+    matches = bool(np.array_equal(replay(dag, keys), output))
+    return ExtractionResult(dag, output, ledger, keys, replay_matches=matches)
 
 
 def adversarial_key_sets(num_nodes: int, seed: int = 0) -> dict[str, np.ndarray]:
@@ -396,7 +114,7 @@ def adversarial_key_sets(num_nodes: int, seed: int = 0) -> dict[str, np.ndarray]
 
 @dataclass(frozen=True)
 class ObliviousnessCertificate:
-    """Result of extracting one configuration under adversarial keys."""
+    """Result of checking one configuration under adversarial keys."""
 
     backend: str
     factor: str
@@ -404,18 +122,22 @@ class ObliviousnessCertificate:
     r: int
     #: canonical DAG hash per key-set name
     hashes: dict[str, str] = field(compare=False)
-    #: the DAG of the first extraction (they are all equal when ``ok``)
+    #: the emitted DAG (shared by every run when ``ok``)
     dag: ComparatorDAG = field(compare=False)
+    #: per key-set: did the backend's output match the DAG replay?
+    replay_matches: dict[str, bool] = field(compare=False, default_factory=dict)
 
     @property
     def ok(self) -> bool:
-        return len(set(self.hashes.values())) == 1
+        if len(set(self.hashes.values())) != 1:
+            return False
+        return all(self.replay_matches.values())
 
     def describe(self) -> str:
         verdict = "identical" if self.ok else "DIVERGENT"
         return (
             f"{self.backend}/{self.factor} n={self.n} r={self.r}: "
-            f"{len(self.hashes)} adversarial extractions, hashes {verdict}"
+            f"{len(self.hashes)} adversarial runs, schedules {verdict}"
         )
 
 
@@ -426,18 +148,21 @@ def certify_oblivious(
     seed: int = 0,
     key_sets: dict[str, np.ndarray] | None = None,
 ) -> ObliviousnessCertificate:
-    """Extract under every adversarial key set; require identical hashes."""
+    """Run the backend under every adversarial key set against one schedule."""
     network = ProductGraph(factor, r)
     if key_sets is None:
         key_sets = adversarial_key_sets(network.num_nodes, seed)
     hashes: dict[str, str] = {}
+    matches: dict[str, bool] = {}
     first: ComparatorDAG | None = None
     for name, keys in key_sets.items():
         result = extract_schedule(factor, r, backend, keys=keys)
         hashes[name] = result.dag.schedule_hash()
+        matches[name] = result.replay_matches
         if first is None:
             first = result.dag
     assert first is not None, "need at least one key set"
     return ObliviousnessCertificate(
-        backend=backend, factor=factor.name, n=factor.n, r=r, hashes=hashes, dag=first
+        backend=backend, factor=factor.name, n=factor.n, r=r,
+        hashes=hashes, dag=first, replay_matches=matches,
     )

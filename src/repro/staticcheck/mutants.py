@@ -39,7 +39,7 @@ from typing import Callable
 from ..graphs.base import FactorGraph
 from ..graphs.product import ProductGraph
 from .dag import ComparatorDAG, ComparatorOp, SchedulePhase, ScheduleRound
-from .extract import extract_schedule
+from .extract import emit_schedule
 from .lints import LINT_NAMES, VerificationReport, verify_dag
 
 __all__ = [
@@ -239,13 +239,15 @@ def run_mutant_harness(
     seed: int = 0,
     lints: tuple[str, ...] = LINT_NAMES,
 ) -> list[MutantOutcome]:
-    """Extract the real schedule, seed each fault class, verify each mutant.
+    """Emit the real schedule, seed each fault class, verify each mutant.
 
     Every outcome carries the full :class:`VerificationReport` of the mutated
     DAG; the harness passes only when all four mutants are caught by their
-    corresponding lint.
+    corresponding lint.  ``seed`` is kept for CLI stability; emission is
+    keyless, so the base DAG never depends on it.
     """
-    base = extract_schedule(factor, r, backend=backend, seed=seed).dag
+    del seed  # emitted schedules are a function of (G, N, r) alone
+    base = emit_schedule(factor, r, backend=backend)
     network = ProductGraph(factor, r)
     outcomes = []
     for mutant in MUTANTS:

@@ -60,9 +60,10 @@ class TestWorkloadMatrix:
             run_cell(WorkloadCell("path", 3, 2, "quantum"))
 
     def test_schema_version_pinned(self):
-        # v2: machine cells gained ``topology`` blocks and richer ``traffic``.
+        # v3: every cell pins its canonical schedule_hash and lattice cells
+        # may carry a ``compiled`` batch-kernel block.
         # Bump this pin deliberately alongside BENCH_seed.json regeneration.
-        assert SCHEMA_VERSION == 2
+        assert SCHEMA_VERSION == 3
 
     def test_document_schema(self, matrix_doc):
         assert matrix_doc["schema_version"] == SCHEMA_VERSION
@@ -129,6 +130,27 @@ class TestWorkloadMatrix:
         b = run_cell(WorkloadCell("path", 3, 2, "lattice"), seed=1)
         for metric in ("total_rounds", "s2_rounds", "s2_calls", "span_count"):
             assert a["metrics"][metric] == b["metrics"][metric]
+        # the schedule hash is a pure function of the geometry, never the keys
+        assert a["schedule_hash"] == b["schedule_hash"]
+
+    def test_every_cell_pins_its_schedule_hash(self, matrix_doc):
+        for cell in matrix_doc["cells"]:
+            assert len(cell["schedule_hash"]) == 64, cell["cell"]
+
+    def test_compiled_block_measures_the_batch_kernel(self):
+        record = run_cell(WorkloadCell("path", 3, 3, "lattice"), seed=0,
+                          compiled_batch=32)
+        compiled = record["compiled"]
+        assert compiled["batch"] == 32
+        assert compiled["matches"] is True
+        assert compiled["schedule_hash"] == record["schedule_hash"]
+        # packing can only merge rounds, never split them
+        assert 0 < compiled["layers"] <= compiled["rounds"]
+        assert compiled["speedup"] > 0
+        # machine cells never grow a compiled block
+        machine = run_cell(WorkloadCell("k2", 2, 2, "machine"), seed=0,
+                           compiled_batch=32)
+        assert "compiled" not in machine
 
 
 class TestPersistence:
@@ -231,6 +253,25 @@ class TestComparison:
         assert DEFAULT_THRESHOLDS["total_rounds"] == 0.0
         assert DEFAULT_THRESHOLDS["wall_time_s"] is None
 
+    def test_schedule_hash_drift_is_an_error(self, matrix_doc):
+        drifted = copy.deepcopy(matrix_doc)
+        drifted["cells"][0]["schedule_hash"] = "f" * 64
+        result = compare_documents(matrix_doc, drifted)
+        assert not result.ok
+        assert any("schedule hash drift" in e for e in result.errors)
+
+    def test_compiled_mismatch_is_an_error(self, matrix_doc):
+        broken = copy.deepcopy(matrix_doc)
+        lattice = next(c for c in broken["cells"] if c["backend"] == "lattice")
+        lattice["compiled"] = {"batch": 8, "matches": False, "speedup": 1.0}
+        result = compare_documents(matrix_doc, broken)
+        assert not result.ok
+        assert any("compiled kernel" in e for e in result.errors)
+
+    def test_compiled_speedup_is_informational(self):
+        assert DEFAULT_THRESHOLDS["compiled.speedup"] is None
+        assert DEFAULT_THRESHOLDS["compiled.layers"] == 0.0
+
     def test_topology_totals_are_zero_tolerance(self, matrix_doc):
         assert DEFAULT_THRESHOLDS["topology.total_traversals"] == 0.0
         assert DEFAULT_THRESHOLDS["topology.directed_edges"] == 0.0
@@ -252,7 +293,7 @@ class TestBenchCli:
         doc = load_document(str(out))
         assert doc["label"] == "t" and len(doc["cells"]) == len(DEFAULT_MATRIX)
         stdout = capsys.readouterr().out
-        assert "schema v2" in stdout and "conformance=ok" in stdout
+        assert "schema v3" in stdout and "conformance=ok" in stdout
 
     def test_bench_compare_same_file_ok(self, tmp_path, capsys, matrix_doc):
         path = write_document(matrix_doc, str(tmp_path / "BENCH_t.json"))
@@ -309,3 +350,16 @@ class TestCommittedBaseline:
         baseline = load_document(os.path.join(REPO_ROOT, "BENCH_seed.json"))
         result = compare_documents(baseline, matrix_doc)
         assert result.ok, result.render()
+
+    def test_seed_pins_schedule_hashes_and_compiled_speedup(self, matrix_doc):
+        """The blessed seed pins every cell's emitted-schedule hash (fresh
+        emissions must reproduce it byte for byte) and records a >=5x
+        compiled-batch speedup on at least one lattice cell."""
+        doc = load_document(os.path.join(REPO_ROOT, "BENCH_seed.json"))
+        fresh = {c["cell"]: c["schedule_hash"] for c in matrix_doc["cells"]}
+        for cell in doc["cells"]:
+            assert cell["schedule_hash"] == fresh[cell["cell"]], cell["cell"]
+        compiled = [c["compiled"] for c in doc["cells"] if "compiled" in c]
+        assert compiled, "seed must carry compiled-kernel measurements"
+        assert all(c["matches"] for c in compiled)
+        assert max(c["speedup"] for c in compiled) >= 5.0

@@ -18,6 +18,7 @@ from repro.core.lattice_sort import ProductNetworkSorter
 from repro.core.multiway_merge import multiway_merge
 from repro.core.sorting import multiway_merge_sort
 from repro.graphs import cycle_graph, k2, path_graph
+from repro.observability import CallbackSubscriber, EventBus
 from repro.orders import lattice_to_sequence, sequence_to_lattice
 from repro.sorters2d import AnalyticSorterModel, ConstantRoutingModel
 
@@ -177,12 +178,18 @@ class TestLemma3Merge:
         assert list(lattice_to_sequence(merged)) == expect
 
 
+def _capture_bus(cb) -> EventBus:
+    bus = EventBus()
+    bus.subscribe(CallbackSubscriber(cb))
+    return bus
+
+
 class TestTraceEvents:
     def test_events_fire_in_order(self, rng):
         sorter = ProductNetworkSorter.for_factor(path_graph(3), 3)
         keys = rng.integers(0, 100, size=27)
         events = []
-        sorter.sort_sequence(keys, trace=lambda e, lat: events.append(e))
+        sorter.sort_sequence(keys, tracer=_capture_bus(lambda e, lat: events.append(e)))
         assert events[0] == "initial_sorted"
         assert "merge3_after_step2" in events
         assert "merge3_step4_transposition0" in events
@@ -193,6 +200,6 @@ class TestTraceEvents:
         sorter = ProductNetworkSorter.for_factor(path_graph(3), 3)
         keys = rng.integers(0, 100, size=27)
         payloads = []
-        sorter.sort_sequence(keys, trace=lambda e, lat: payloads.append(lat))
+        sorter.sort_sequence(keys, tracer=_capture_bus(lambda e, lat: payloads.append(lat)))
         for lat in payloads:
             assert sorted(lat.ravel().tolist()) == sorted(keys.tolist())

@@ -6,6 +6,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.observability import CallbackSubscriber, EventBus
+
 from repro.core.multiway_merge import (
     clean_dirty_area,
     distribute,
@@ -151,6 +153,12 @@ class TestMergeCorrectness:
         assert multiway_merge(seqs) == sorted(flat)
 
 
+def _capture_bus(cb) -> EventBus:
+    bus = EventBus()
+    bus.subscribe(CallbackSubscriber(cb))
+    return bus
+
+
 class TestLemma1:
     @pytest.mark.parametrize("n", [2, 3])
     def test_dirty_area_bounded_exhaustive(self, n):
@@ -159,7 +167,7 @@ class TestLemma1:
         worst = 0
         for seqs in zero_one_merge_inputs(n, n * n):
             captured = {}
-            multiway_merge(seqs, trace=lambda e, p: captured.update({e: p}))
+            multiway_merge(seqs, tracer=_capture_bus(lambda e, p: captured.update({e: p})))
             dirty = measure_dirty_area(captured["step3_D"])
             worst = max(worst, dirty)
             assert dirty <= n * n
@@ -175,7 +183,7 @@ class TestLemma1:
         for _ in range(25):
             seqs = [sorted(rng.randrange(30) for _ in range(16)) for _ in range(n)]
             captured = {}
-            multiway_merge(seqs, trace=lambda e, p: captured.update({e: p}))
+            multiway_merge(seqs, tracer=_capture_bus(lambda e, p: captured.update({e: p})))
             assert max_displacement(captured["step3_D"]) <= n * n
 
 
@@ -184,7 +192,7 @@ class TestTraceEvents:
         events = []
         multiway_merge(
             [sorted(range(0, 9)), sorted(range(4, 13)), sorted(range(2, 11))],
-            trace=lambda e, p: events.append(e),
+            tracer=_capture_bus(lambda e, p: events.append(e)),
         )
         assert events == [
             "step1_B",
@@ -201,7 +209,7 @@ class TestTraceEvents:
         captured = {}
         multiway_merge(
             [list(range(9)), list(range(9)), list(range(9))],
-            trace=lambda e, p: captured.update({e: p}),
+            tracer=_capture_bus(lambda e, p: captured.update({e: p})),
         )
         b = captured["step1_B"]
         assert len(b) == 3 and all(len(row) == 3 for row in b)

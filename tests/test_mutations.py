@@ -26,7 +26,7 @@ class _Sabotaged(ProductNetworkSorter):
         super().__init__(*args, **kwargs)
         self.fault = fault
 
-    def _step4(self, a, ledger, charge, trace):
+    def _step4(self, a, ledger, charge, tracer=None, emit=None):
         if self.fault == "skip_step4":
             return
         k = a.ndim
@@ -110,7 +110,7 @@ def test_transposition_direction_matters():
     """Maxima to the predecessor (inverted min/max) must also fail."""
 
     class _Inverted(ProductNetworkSorter):
-        def _step4(self, a, ledger, charge, trace):
+        def _step4(self, a, ledger, charge, tracer=None, emit=None):
             k = a.ndim
             n = self.n
             blocks = [a[idx] for idx in np.ndindex(a.shape[:-2])]

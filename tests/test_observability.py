@@ -170,13 +170,14 @@ class TestTheorem1FromTelemetry:
         assert sum(s.rounds for s in tracer.find(kind="routing")) == ledger.routing_rounds
 
     def test_lattice_traced_observer_path_same_counts(self, rng):
-        # the readable per-block Step 4 path (trace observer attached) must
+        # the readable per-block Step 4 path (state observer on the bus) must
         # emit the same span structure as the vectorised path
         r = 3
         sorter = ProductNetworkSorter.for_factor(path_graph(3), r)
         keys = rng.integers(0, 2**20, size=3**r)
         tracer = Tracer()
-        sorter.sort_sequence(keys, trace=lambda e, p: None, tracer=tracer)
+        tracer.bus.subscribe(CallbackSubscriber(lambda e, p: None))
+        sorter.sort_sequence(keys, tracer=tracer)
         assert tracer.count(kind="s2") == (r - 1) ** 2
         assert tracer.count(kind="routing") == (r - 1) * (r - 2)
 
@@ -216,36 +217,38 @@ class TestLedgerSubscriber:
         assert ledger.total_rounds == 0 and ledger.s2_calls == 0
 
 
-class TestTraceShim:
-    """The legacy ``trace(event, payload)`` callable keeps working, and the
-    same states can be consumed from the bus instead."""
+class TestPointEventStates:
+    """Intermediate states arrive as ``point`` events on the tracer's bus —
+    the unified replacement for the retired ``trace=`` callable hook."""
 
     def _inputs(self):
         return [[1, 4, 7, 10], [2, 5, 8, 11]]
 
-    def test_legacy_callable_still_sees_stages(self):
-        captured = {}
-        out = multiway_merge(self._inputs(), trace=lambda e, p: captured.update({e: p}))
-        assert out == sorted(sum(self._inputs(), []))
-        for stage in ("step1_B", "step2_C", "step3_D", "step4_F", "result"):
-            assert stage in captured
-
-    def test_event_bus_receives_point_events(self):
+    def test_bare_bus_sees_stages(self):
         bus = EventBus()
         captured = {}
         bus.subscribe(CallbackSubscriber(lambda e, p: captured.update({e: p})))
-        out = multiway_merge(self._inputs(), trace=bus)
+        out = multiway_merge(self._inputs(), tracer=bus)
         assert out == sorted(sum(self._inputs(), []))
         assert captured["result"] == out
-        assert set(captured) >= {"step1_B", "step2_C", "step3_D", "result"}
+        for stage in ("step1_B", "step2_C", "step3_D", "step4_F", "result"):
+            assert stage in captured
 
-    def test_bus_and_callable_see_identical_streams(self):
-        direct, via_bus = [], []
-        multiway_merge(self._inputs(), trace=lambda e, p: direct.append((e, p)))
+    def test_tracer_bus_and_bare_bus_see_identical_streams(self):
+        via_tracer, via_bus = [], []
+        tracer = Tracer()
+        tracer.bus.subscribe(CallbackSubscriber(lambda e, p: via_tracer.append((e, p))))
+        multiway_merge(self._inputs(), tracer=tracer)
         bus = EventBus()
         bus.subscribe(CallbackSubscriber(lambda e, p: via_bus.append((e, p))))
-        multiway_merge(self._inputs(), trace=bus)
-        assert direct == via_bus
+        multiway_merge(self._inputs(), tracer=bus)
+        assert via_tracer == via_bus
+
+    def test_span_only_tracer_emits_no_point_events(self):
+        tracer = Tracer()  # private bus, no subscribers
+        out = multiway_merge(self._inputs(), tracer=tracer)
+        assert out == sorted(sum(self._inputs(), []))
+        assert tracer.roots  # spans recorded as usual
 
     def test_sequence_level_span_tree(self):
         tracer = Tracer()

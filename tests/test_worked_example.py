@@ -14,6 +14,7 @@ import pytest
 from repro.core.lattice_sort import ProductNetworkSorter
 from repro.core.multiway_merge import multiway_merge
 from repro.graphs import path_graph
+from repro.observability import CallbackSubscriber, EventBus
 from repro.orders import lattice_to_sequence, sequence_to_lattice
 
 A0 = [0, 4, 4, 5, 5, 7, 8, 8, 9]
@@ -31,9 +32,9 @@ def input_lattice():
 def traced_run(input_lattice):
     sorter = ProductNetworkSorter.for_factor(path_graph(3), 3)
     states: dict[str, np.ndarray] = {}
-    out, ledger = sorter.merge_sorted_subgraphs(
-        input_lattice, trace=lambda e, lat: states.update({e: lat})
-    )
+    bus = EventBus()
+    bus.subscribe(CallbackSubscriber(lambda e, lat: states.update({e: lat})))
+    out, ledger = sorter.merge_sorted_subgraphs(input_lattice, tracer=bus)
     return out, ledger, states
 
 
@@ -70,7 +71,9 @@ class TestFig13Step2:
         """Column contents equal the §3.1 trace's C_v sequences."""
         _, _, states = traced_run
         captured = {}
-        multiway_merge([A0, A1, A2], trace=lambda e, p: captured.update({e: p}))
+        bus = EventBus()
+        bus.subscribe(CallbackSubscriber(lambda e, p: captured.update({e: p})))
+        multiway_merge([A0, A1, A2], tracer=bus)
         lat = states["merge3_after_step2"]
         for v in range(3):
             assert list(lattice_to_sequence(lat[:, :, v])) == captured["step2_C"][v]
