@@ -301,6 +301,59 @@ def _section_staticcheck(seed: int) -> str:
     )
 
 
+def _section_kernelprof(seed: int) -> str:
+    from ..observability.cachestats import all_cache_stats
+    from ..observability.kernelprof import KernelProfiler, profile_cell
+
+    profiler = KernelProfiler()
+    rows = []
+    for key in ("path-n3-r3", "path-n4-r3", "k2-n2-r4"):
+        doc = profile_cell(key, batches=(256,), runs=5, seed=seed, profiler=profiler)
+        for plan in doc["plans"]:
+            point = plan["batches"][-1]
+            rows.append(
+                [
+                    doc["cell"],
+                    plan["plan"],
+                    plan["layers"],
+                    plan["ops"],
+                    f"{plan['mean_occupancy'] * 100:.1f}%",
+                    f"{point['wall_s']['p50'] * 1e6:.0f}",
+                    f"{point['keys_per_s']:,.0f}",
+                ]
+            )
+    table = format_markdown_table(
+        ["cell", "plan", "layers", "ops", "mean occ", "p50 µs @256", "keys/s"], rows
+    )
+    cache_rows = [
+        [
+            snap["name"],
+            snap["hits"],
+            snap["misses"],
+            f"{snap['hit_rate'] * 100:.0f}%",
+            snap["size"],
+            f"{snap['build_seconds'] * 1e3:.1f}",
+        ]
+        for snap in all_cache_stats().values()
+    ]
+    cache_table = format_markdown_table(
+        ["cache", "hits", "misses", "hit rate", "entries", "build ms"], cache_rows
+    )
+    return (
+        "## Compiled kernels — per-layer profile and cache health\n\n"
+        "Each row profiles one cell's compiled batch kernel (`repro "
+        "profile`) at batch 256: layer count after ASAP packing (or one "
+        "layer per IR round for the per-round plan), total operations, mean "
+        "comparator-slot occupancy, and median run latency with the derived "
+        "throughput.  The caches below memoise emitted schedules and "
+        "compiled kernels process-wide.\n\n"
+        + table
+        + "\n\nSchedule-cache state after the profiling pass:\n\n"
+        + cache_table
+        + "\n"
+    )
+
+
 def generate_report(seed: int = 0, max_n_lemma1: int = 3, max_r_hypercube: int = 7) -> str:
     """Build the full markdown report; every number is measured on the spot."""
     header = (
@@ -318,6 +371,7 @@ def generate_report(seed: int = 0, max_n_lemma1: int = 3, max_r_hypercube: int =
         _section_telemetry(seed),
         _section_topology(seed),
         _section_bench(seed),
+        _section_kernelprof(seed),
         _section_staticcheck(seed),
     ]
     return "\n".join(sections)

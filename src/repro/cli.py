@@ -16,6 +16,11 @@ Reproduces the paper's evaluation from the shell:
   benchreg matrix cell, certify obliviousness, and lint it (zero-one, races,
   link legality, depth conformance); ``--mutants`` proves the lints catch
   each seeded fault class;
+* ``profile`` — per-layer wall time / occupancy / throughput of one cell's
+  compiled batch kernel across a batch sweep, as tables + heatmap, JSON or a
+  Chrome trace (``--chrome``);
+* ``metrics`` — serve the live Prometheus endpoint (``/metrics``,
+  ``/healthz``, ``/snapshot.json``) warmed with profiled kernel runs;
 * ``worked-example`` — the Figs. 12-15 walkthrough (delegates to the
   example script's logic);
 * ``gray`` — print Gray/snake orders for small products (Figs. 3-5).
@@ -449,6 +454,61 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return run.exit_code
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .observability.kernelprof import profile_cell, profile_chrome_trace, render_profile
+
+    batches = tuple(args.batch) if args.batch else (1, 16, 256)
+    try:
+        doc = profile_cell(args.cell, batches=batches, runs=args.runs, seed=args.seed)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            fh.write(profile_chrome_trace(args.cell, batch=batches[-1], seed=args.seed))
+        print(f"wrote {args.chrome}", file=sys.stderr)
+    text = json.dumps(doc, indent=2) if args.json else render_profile(doc)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text if text.endswith("\n") else text + "\n")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .observability.httpexpo import build_metrics_server
+
+    try:
+        server = build_metrics_server(
+            cell=args.cell,
+            batch=args.batch,
+            runs=args.runs,
+            seed=args.seed,
+            host=args.host,
+            port=args.serve,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.serve}: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"serving metrics on {server.url('/metrics')} "
+        "(also /healthz, /snapshot.json) — Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import generate_report
 
@@ -626,6 +686,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="machine-readable report")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-layer compiled-kernel profile of one benchreg cell (batch sweep)",
+    )
+    p.add_argument(
+        "--cell",
+        type=str,
+        default="path-n3-r3",
+        help="benchreg cell, e.g. path-n3-r3 or k2-n2-r4 (lattice assumed)",
+    )
+    p.add_argument(
+        "--batch",
+        action="append",
+        type=int,
+        default=None,
+        metavar="SIZE",
+        help="batch size to sweep (repeatable; default 1 16 256)",
+    )
+    p.add_argument("--runs", type=int, default=5, help="profiled runs per batch size")
+    p.add_argument("--json", action="store_true", help="machine-readable profile document")
+    p.add_argument(
+        "--chrome",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="also export kernel-layer spans as Chrome trace-event JSON",
+    )
+    p.add_argument("--out", type=str, default=None, help="write to a file instead of stdout")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "metrics",
+        help="serve the live Prometheus exposition endpoint (/metrics /healthz /snapshot.json)",
+    )
+    p.add_argument(
+        "--serve",
+        type=int,
+        required=True,
+        metavar="PORT",
+        help="port to listen on (0 = ephemeral, printed on startup)",
+    )
+    p.add_argument("--host", type=str, default="127.0.0.1")
+    p.add_argument(
+        "--cell",
+        type=str,
+        default="path-n3-r3",
+        help="cell whose kernel warms the histograms before serving",
+    )
+    p.add_argument("--batch", type=int, default=64, help="warm-up batch size")
+    p.add_argument("--runs", type=int, default=3, help="warm-up profiled runs per plan")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("gray", help="print Gray/snake orders (Figs. 3-5)")
     p.add_argument("--n", type=int, default=3)

@@ -25,6 +25,7 @@ Passing ``tracer=None`` (the default everywhere) routes through the shared
 preallocated no-op object — untraced runs pay essentially nothing.
 """
 
+from .cachestats import CacheStats, all_cache_stats, publish_cache_metrics
 from .critical_path import (
     ConformanceReport,
     MergeLevelCheck,
@@ -54,7 +55,22 @@ from .export import (
     timeline_to_jsonl,
     to_chrome_trace,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, MetricsSubscriber
+from .httpexpo import MetricsServer, build_metrics_server
+from .kernelprof import (
+    KernelProfiler,
+    LayerProfile,
+    RunProfile,
+    profile_cell,
+    render_profile,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSubscriber,
+    quantile_from_buckets,
+)
 from .timeline import MachineStep, MachineTimeline
 from .topology import CongestionIndex, LinkObservatory
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer, coerce_tracer, point_emitter
@@ -85,6 +101,17 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsSubscriber",
+    "quantile_from_buckets",
+    "CacheStats",
+    "all_cache_stats",
+    "publish_cache_metrics",
+    "KernelProfiler",
+    "LayerProfile",
+    "RunProfile",
+    "profile_cell",
+    "render_profile",
+    "MetricsServer",
+    "build_metrics_server",
     "ConformanceReport",
     "MergeLevelCheck",
     "PhaseBreakdown",

@@ -11,7 +11,11 @@ every cell is one full traced sort — and snapshots, per cell:
 * the :class:`~repro.observability.topology.LinkObservatory` snapshot
   (machine-backend cells): per-link traversal totals, congestion and
   load-imbalance indices per dimension and per phase, peak buffer depth —
-  structural totals gated at zero tolerance, and
+  structural totals gated at zero tolerance,
+* a compiled-kernel ``profile`` block (lattice cells run with a batch):
+  p50/p99 run latency, keys/s and per-layer occupancy summary from the
+  :class:`~repro.observability.kernelprof.KernelProfiler` — layer/op counts
+  structural, the rest informational, and
 * wall time (informational; never a pass/fail signal by default).
 
 The snapshot is written as a schema-versioned ``BENCH_<label>.json`` at the
@@ -57,8 +61,14 @@ __all__ = [
 #: (v2: machine cells gained ``topology`` blocks and richer ``traffic``;
 #: v3: every cell pins its canonical ``schedule_hash`` — an accidental
 #: schedule change fails ``repro bench compare`` — and lattice cells may
-#: carry a ``compiled`` batch-kernel speedup block)
-SCHEMA_VERSION = 3
+#: carry a ``compiled`` batch-kernel speedup block;
+#: v4: lattice cells run with a batch also carry a ``profile`` block —
+#: p50/p99 compiled-run latency, keys/s and per-layer occupancy summary —
+#: informational except the structural layer/op counts)
+SCHEMA_VERSION = 4
+
+#: profiled runs behind each ``profile`` block's percentiles
+PROFILE_RUNS = 9
 
 
 # ----------------------------------------------------------------------
@@ -216,6 +226,7 @@ def run_cell(
         record["topology"] = topology
     if compiled_batch and cell.backend == "lattice":
         record["compiled"] = _compiled_record(sorter, compiled_batch, rng)
+        record["profile"] = _profile_record(sorter, compiled_batch, rng)
     return record
 
 
@@ -259,6 +270,37 @@ def _compiled_record(sorter, batch: int, rng) -> dict[str, Any]:
         "interpreted_wall_s": interpreted_wall,
         "compiled_wall_s": compiled_wall,
         "speedup": interpreted_wall / compiled_wall if compiled_wall > 0 else float("inf"),
+    }
+
+
+def _profile_record(sorter, batch: int, rng) -> dict[str, Any]:
+    """Profile the packed kernel: latency percentiles, throughput, occupancy.
+
+    :data:`PROFILE_RUNS` profiled executions of one batch feed the p50/p99
+    (sample percentiles; scrapers derive the same from the histogram
+    buckets) — everything informational except the structural ``layers`` /
+    ``ops`` counts, which the ASAP packing fully determines.
+    """
+    from ..schedule import compile_schedule
+    from .kernelprof import KernelProfiler
+
+    kernel = compile_schedule(sorter.schedule())
+    profiler = KernelProfiler()
+    keys = rng.integers(0, 2**31, size=(int(batch), kernel.num_nodes))
+    kernel.run(keys)  # warm-up
+    profiles = [profiler.run(kernel, keys)[1] for _ in range(PROFILE_RUNS)]
+    walls = np.array([p.wall_s for p in profiles])
+    representative = profiles[int(np.argmin(walls))]
+    return {
+        "batch": int(batch),
+        "runs": len(profiles),
+        "p50_run_s": float(np.percentile(walls, 50)),
+        "p99_run_s": float(np.percentile(walls, 99)),
+        "keys_per_s": float(representative.keys / np.percentile(walls, 50)),
+        "layers": len(representative.layers),
+        "ops": representative.op_count,
+        "mean_occupancy": representative.mean_occupancy,
+        "max_occupancy": representative.max_occupancy,
     }
 
 
@@ -398,18 +440,40 @@ DEFAULT_THRESHOLDS: dict[str, float | None] = {
     "compiled.interpreted_wall_s": None,
     "compiled.compiled_wall_s": None,
     "compiled.speedup": None,
+    # profile block (v4): layer/op counts are structural — the ASAP packing
+    # is deterministic — latency percentiles, throughput and occupancy are
+    # wall-clock/derived and stay informational
+    "profile.layers": 0.0,
+    "profile.ops": 0.0,
+    "profile.batch": None,
+    "profile.runs": None,
+    "profile.p50_run_s": None,
+    "profile.p99_run_s": None,
+    "profile.keys_per_s": None,
+    "profile.mean_occupancy": None,
+    "profile.max_occupancy": None,
 }
 
 
 def _comparable_metrics(cell: dict[str, Any]) -> dict[str, float]:
-    """A cell's ``metrics`` dict plus flattened topology/compiled scalars."""
+    """A cell's ``metrics`` dict plus flattened block scalars."""
     out: dict[str, float] = dict(cell.get("metrics", {}))
-    for block in ("topology", "compiled"):
+    for block in ("topology", "compiled", "profile"):
         for key, value in (cell.get(block) or {}).items():
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 continue
             out[f"{block}.{key}"] = value
     return out
+
+
+#: informational metrics where larger is better (throughput, speedup);
+#: the improved/"=" arrows flip direction for these
+HIGHER_IS_BETTER = frozenset({
+    "compiled.speedup",
+    "profile.keys_per_s",
+    "profile.mean_occupancy",
+    "profile.max_occupancy",
+})
 
 
 @dataclass(frozen=True)
@@ -432,6 +496,8 @@ class MetricDelta:
 
     @property
     def improved(self) -> bool:
+        if self.metric in HIGHER_IS_BETTER:
+            return self.candidate > self.baseline
         return self.candidate < self.baseline
 
     def describe(self) -> str:

@@ -1,0 +1,142 @@
+"""Hit/miss accounting for the schedule layer's memoisation caches.
+
+The execution spine memoises three artifacts — emitted lattice DAGs, emitted
+machine schedules and compiled batch kernels (see :mod:`repro.schedule.emit`
+and :mod:`repro.schedule.compiled`).  Each cache owns one :class:`CacheStats`
+instance that counts lookups, accumulates build time for misses and probes
+the live entry count; instances self-register by name so
+:func:`all_cache_stats` can snapshot the whole process and
+:func:`publish_cache_metrics` can mirror the counters into a
+:class:`~repro.observability.metrics.MetricsRegistry` for scraping
+(``repro_schedule_cache_hits_total{cache=...}`` and friends).
+
+This module is deliberately dependency-free within the package (it imports
+nothing from :mod:`repro.schedule`), so the schedule modules can import it at
+module level without a cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .metrics import MetricsRegistry
+
+__all__ = ["CacheStats", "all_cache_stats", "publish_cache_metrics"]
+
+_REGISTRY: dict[str, "CacheStats"] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+class CacheStats:
+    """Thread-safe hit/miss/build-time counters for one memoisation cache.
+
+    ``size_fn`` (optional) is called on snapshot to report the cache's live
+    entry count — keeping the stats object decoupled from the dict it
+    describes.  Instances self-register under ``name``; creating a second
+    instance with the same name replaces the first (used by module reloads
+    in tests, harmless otherwise).
+    """
+
+    __slots__ = ("name", "_lock", "_hits", "_misses", "_build_seconds", "_size_fn")
+
+    def __init__(self, name: str, size_fn: Callable[[], int] | None = None) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._build_seconds = 0.0
+        self._size_fn = size_fn
+        with _REGISTRY_LOCK:
+            _REGISTRY[name] = self
+
+    def record_hit(self) -> None:
+        """Count one lookup served from the cache."""
+        with self._lock:
+            self._hits += 1
+
+    def record_miss(self, build_seconds: float = 0.0) -> None:
+        """Count one lookup that had to build, charging its build time."""
+        with self._lock:
+            self._misses += 1
+            self._build_seconds += float(build_seconds)
+
+    def reset(self) -> None:
+        """Zero every counter (used by ``clear_caches()`` test isolation)."""
+        with self._lock:
+            self._hits = 0
+            self._misses = 0
+            self._build_seconds = 0.0
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
+
+    @property
+    def build_seconds(self) -> float:
+        with self._lock:
+            return self._build_seconds
+
+    @property
+    def size(self) -> int:
+        """Live entries in the cache this object describes (0 if unprobed)."""
+        return int(self._size_fn()) if self._size_fn is not None else 0
+
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            lookups = self._hits + self._misses
+            return self._hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe dict of every counter, consistent under concurrency."""
+        with self._lock:
+            hits, misses, build = self._hits, self._misses, self._build_seconds
+        return {
+            "name": self.name,
+            "hits": hits,
+            "misses": misses,
+            "lookups": hits + misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "build_seconds": build,
+            "size": self.size,
+        }
+
+
+def all_cache_stats() -> dict[str, dict[str, Any]]:
+    """Snapshot every registered cache, keyed by cache name (sorted)."""
+    with _REGISTRY_LOCK:
+        stats = sorted(_REGISTRY.items())
+    return {name: s.snapshot() for name, s in stats}
+
+
+def publish_cache_metrics(registry: "MetricsRegistry") -> None:
+    """Mirror every cache's cumulative stats into ``registry``.
+
+    Idempotent: counters advance by the delta since the last publish (a cache
+    reset between publishes clamps the delta at zero rather than violating
+    counter monotonicity), so this is safe to call on every scrape.
+    """
+    hits = registry.counter(
+        "repro_schedule_cache_hits_total", "schedule-cache lookup hits, by cache"
+    )
+    misses = registry.counter(
+        "repro_schedule_cache_misses_total", "schedule-cache lookup misses, by cache"
+    )
+    builds = registry.counter(
+        "repro_schedule_cache_build_seconds_total", "seconds spent building cache entries, by cache"
+    )
+    size = registry.gauge("repro_schedule_cache_size", "live entries per schedule cache")
+    for snap in all_cache_stats().values():
+        name = str(snap["name"])
+        hits.inc(max(0.0, float(snap["hits"]) - hits.value(cache=name)), cache=name)
+        misses.inc(max(0.0, float(snap["misses"]) - misses.value(cache=name)), cache=name)
+        builds.inc(max(0.0, float(snap["build_seconds"]) - builds.value(cache=name)), cache=name)
+        size.set(float(snap["size"]), cache=name)

@@ -1,0 +1,184 @@
+"""Live metrics exposition over stdlib HTTP: ``/metrics`` for Prometheus.
+
+:class:`MetricsServer` wraps a :class:`~repro.observability.metrics.MetricsRegistry`
+in a ``ThreadingHTTPServer`` (no dependencies beyond the standard library)
+serving three endpoints:
+
+``/metrics``
+    Prometheus text exposition (``registry.expose_text()``), scrape-ready;
+``/healthz``
+    liveness probe, always ``ok``;
+``/snapshot.json``
+    the registry's JSON snapshot plus schedule-cache stats — the same
+    numbers, machine-readable.
+
+Registered *collectors* run before every scrape (except ``/healthz``), the
+hook :func:`build_metrics_server` uses to refresh schedule-cache counters so
+``repro_schedule_cache_{hits,misses}_total`` are current at scrape time.
+Start via ``repro metrics --serve PORT`` (see ``docs/profiling.md``) or
+embed with ``with MetricsServer(registry) as server: ...``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from .metrics import MetricsRegistry
+
+__all__ = ["MetricsServer", "PROMETHEUS_CONTENT_TYPE", "build_metrics_server"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """A threaded HTTP server exposing one registry; see the module docstring.
+
+    ``port=0`` (the default) binds an ephemeral port — read it back from
+    :attr:`port`; that is what the endpoint tests do to avoid collisions.
+    ``collectors`` are zero-argument callables invoked before each scrape;
+    ``snapshot_extra`` (optional) returns a dict merged into
+    ``/snapshot.json`` next to the ``metrics`` key.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        collectors: tuple[Callable[[], None], ...] = (),
+        snapshot_extra: Callable[[], dict[str, Any]] | None = None,
+    ) -> None:
+        self.registry = registry
+        self.collectors = list(collectors)
+        self.snapshot_extra = snapshot_extra
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt: str, *args: Any) -> None:  # silence stderr
+                pass
+
+            def do_GET(self) -> None:
+                try:
+                    status, ctype, body = outer._respond(self.path)
+                except Exception as exc:  # never kill a serving thread
+                    status = 500
+                    ctype = "text/plain; charset=utf-8"
+                    body = f"internal error: {exc}\n".encode()
+                self.send_response(status)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # -- request handling ------------------------------------------------
+
+    def _respond(self, path: str) -> tuple[int, str, bytes]:
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            return 200, "text/plain; charset=utf-8", b"ok\n"
+        for collect in self.collectors:
+            collect()
+        if path == "/metrics":
+            return 200, PROMETHEUS_CONTENT_TYPE, self.registry.expose_text().encode()
+        if path == "/snapshot.json":
+            doc: dict[str, Any] = {"metrics": self.registry.snapshot()}
+            if self.snapshot_extra is not None:
+                doc.update(self.snapshot_extra())
+            body = json.dumps(doc, indent=1, sort_keys=True) + "\n"
+            return 200, "application/json", body.encode()
+        return (
+            404,
+            "text/plain; charset=utf-8",
+            b"not found; endpoints: /metrics /healthz /snapshot.json\n",
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return str(self._httpd.server_address[0])
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    def url(self, path: str = "/metrics") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def start(self) -> "MetricsServer":
+        """Serve from a daemon thread; returns self for chaining."""
+        thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics", daemon=True
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve from the calling thread (the ``repro metrics`` CLI mode)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Shut down the background thread (if any) and close the socket."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def close(self) -> None:
+        """Close the listening socket without a threaded shutdown handshake."""
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def build_metrics_server(
+    cell: str = "path-n3-r3",
+    batch: int = 64,
+    runs: int = 3,
+    seed: int = 0,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> MetricsServer:
+    """A ready-to-serve endpoint, warmed with profiled runs of one cell.
+
+    Profiles ``runs`` executions per plan of ``cell``'s compiled kernel into
+    a fresh registry — so ``repro_compiled_run_seconds`` has populated
+    buckets from the very first scrape — and attaches a collector that
+    refreshes the schedule-cache counters on every request.  The returned
+    server is not yet started.
+    """
+    from .cachestats import all_cache_stats, publish_cache_metrics
+    from .kernelprof import KernelProfiler, profile_cell
+
+    registry = MetricsRegistry()
+    profiler = KernelProfiler(registry=registry)
+    profile_cell(cell, batches=(batch,), runs=runs, seed=seed, profiler=profiler)
+    publish_cache_metrics(registry)
+
+    def snapshot_extra() -> dict[str, Any]:
+        last = profiler.last_profile
+        return {
+            "caches": all_cache_stats(),
+            "last_profile": last.to_json() if last is not None else None,
+        }
+
+    return MetricsServer(
+        registry,
+        host=host,
+        port=port,
+        collectors=(lambda: publish_cache_metrics(registry),),
+        snapshot_extra=snapshot_extra,
+    )

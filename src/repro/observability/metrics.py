@@ -46,6 +46,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsSubscriber",
+    "quantile_from_buckets",
 ]
 
 Labels = tuple[tuple[str, str], ...]
@@ -147,6 +148,35 @@ class _HistogramSeries:
         self.total = 0.0
 
 
+def quantile_from_buckets(
+    bounds: tuple[float, ...], bucket_counts: list[int], q: float
+) -> float:
+    """Prometheus ``histogram_quantile`` over per-bucket observation counts.
+
+    ``bounds`` are the ascending finite bucket upper bounds; ``bucket_counts``
+    holds one (non-cumulative) count per bound, optionally followed by one
+    ``+Inf`` overflow entry.  The quantile is linearly interpolated within
+    the bucket it lands in, taking 0 as the lower edge of the first bucket —
+    exactly what PromQL computes from ``_bucket`` series.  Returns NaN with
+    no observations; a quantile landing in the overflow returns the largest
+    finite bound (again matching Prometheus).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(bucket_counts)
+    if total == 0:
+        return float("nan")
+    target = q * total
+    cumulative = 0.0
+    lower = 0.0
+    for bound, count in zip(bounds, bucket_counts):
+        if count and cumulative + count >= target:
+            return lower + (bound - lower) * (target - cumulative) / count
+        cumulative += count
+        lower = bound
+    return float(bounds[-1])
+
+
 class Histogram(_Instrument):
     """A bucketed distribution with cumulative Prometheus semantics."""
 
@@ -171,6 +201,19 @@ class Histogram(_Instrument):
                 series.bucket_counts[i] += 1
                 return
         series.bucket_counts[-1] += 1
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Approximate ``q``-quantile of the labelled series.
+
+        Bucket-interpolated with :func:`quantile_from_buckets` — the same
+        estimate PromQL's ``histogram_quantile`` derives from the exposed
+        ``_bucket`` samples, so p50/p99 printed locally match what a scraper
+        would chart.  NaN if the series has no observations.
+        """
+        series = self._series.get(_labels_key(labels))
+        if series is None:
+            return float("nan")
+        return quantile_from_buckets(self.buckets, series.bucket_counts, q)
 
     def snapshot_series(self, **labels: Any) -> dict[str, Any]:
         """Count / sum / per-bucket cumulative counts of one series."""

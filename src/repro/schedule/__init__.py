@@ -15,10 +15,21 @@ lints it; :mod:`repro.staticcheck.extract` merely certifies that live runs
 reproduce it.  See ``docs/schedule-ir.md`` for the architecture.
 """
 
-from .compiled import CompiledSchedule, ScheduleLayer, compile_schedule, round_plan
+from typing import Any
+
+from .compiled import (
+    CompiledSchedule,
+    ScheduleLayer,
+    clear_kernel_cache,
+    compile_schedule,
+    get_profiler,
+    round_plan,
+    set_profiler,
+)
 from .emit import (
     EmittedMachineSchedule,
     SpanInstr,
+    clear_emission_caches,
     emit_lattice_schedule,
     emit_machine_schedule,
     span_path_entry,
@@ -44,12 +55,34 @@ __all__ = [
     "SchedulePhase",
     "ScheduleRound",
     "SpanInstr",
+    "cache_stats",
+    "clear_caches",
     "compile_schedule",
     "emit_lattice_schedule",
     "emit_machine_schedule",
+    "get_profiler",
     "phase_detail",
     "replay",
     "round_plan",
+    "set_profiler",
     "snake_order_nodes",
     "span_path_entry",
 ]
+
+
+def clear_caches() -> None:
+    """Drop every memoised schedule artifact and reset all cache statistics.
+
+    Covers the compiled-kernel cache and both emission caches — the
+    test-isolation hook the ``schedule_caches`` fixture uses, and the knob
+    for long-lived processes that want to bound memory.
+    """
+    clear_kernel_cache()
+    clear_emission_caches()
+
+
+def cache_stats() -> dict[str, dict[str, Any]]:
+    """Hit/miss/build-time/size snapshot of every schedule cache, by name."""
+    from ..observability.cachestats import all_cache_stats
+
+    return all_cache_stats()

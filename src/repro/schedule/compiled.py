@@ -28,13 +28,28 @@ schedules — however they were emitted — share one compiled artifact.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
+from time import perf_counter
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..observability.cachestats import CacheStats
 from .ir import ComparatorDAG
 
-__all__ = ["CompiledSchedule", "ScheduleLayer", "compile_schedule", "round_plan"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability.kernelprof import KernelProfiler
+
+__all__ = [
+    "CompiledSchedule",
+    "ScheduleLayer",
+    "clear_kernel_cache",
+    "compile_schedule",
+    "get_profiler",
+    "round_plan",
+    "set_profiler",
+]
 
 
 @dataclass(frozen=True)
@@ -62,10 +77,17 @@ class CompiledSchedule:
     preserving the emitted phase granularity exactly.
     """
 
-    def __init__(self, dag: ComparatorDAG, packed: bool = True) -> None:
+    def __init__(
+        self, dag: ComparatorDAG, packed: bool = True, schedule_hash: str | None = None
+    ) -> None:
         self.num_nodes = dag.num_nodes
-        self.schedule_hash = dag.schedule_hash()
+        # the canonical SHA-256 is expensive enough to compute exactly once:
+        # compile_schedule passes the hash it already derived the cache key from
+        self.schedule_hash = schedule_hash if schedule_hash is not None else dag.schedule_hash()
         self.packed = packed
+        #: benchreg-style label for profiler metrics (family-n-r, no backend:
+        #: the kernel is backend-agnostic once emitted)
+        self.cell = f"{dag.factor}-n{dag.n}-r{dag.r}"
         depth = np.zeros(dag.num_nodes, dtype=np.int64)
         # layer index -> ([lo...], [hi...], {width: ([rows of nodes], [descending])})
         comps: dict[int, tuple[list[int], list[int]]] = {}
@@ -110,14 +132,8 @@ class CompiledSchedule:
     def num_layers(self) -> int:
         return len(self.layers)
 
-    def run(self, state: np.ndarray) -> np.ndarray:
-        """Execute the schedule over a key vector or a whole batch.
-
-        ``state`` has shape ``(num_nodes,)`` or ``(batch, num_nodes)``,
-        indexed by flat node id; returns a fresh array of the same shape.
-        Semantically identical to :func:`repro.schedule.ir.replay` — the
-        property tests pin that equivalence — just fewer, wider passes.
-        """
+    def _prepare(self, state: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Copy/validate ``state`` into a ``(batch, num_nodes)`` work array."""
         arr = np.array(state, copy=True)
         squeeze = arr.ndim == 1
         if squeeze:
@@ -126,17 +142,40 @@ class CompiledSchedule:
             raise ValueError(
                 f"state must have {self.num_nodes} keys per row, got {np.shape(state)}"
             )
+        return arr, squeeze
+
+    @staticmethod
+    def apply_layer(arr: np.ndarray, layer: ScheduleLayer) -> None:
+        """Execute one layer in place over a prepared ``(batch, N)`` array."""
+        if layer.lo.size:
+            lo = arr[:, layer.lo]
+            hi = arr[:, layer.hi]
+            arr[:, layer.lo] = np.minimum(lo, hi)
+            arr[:, layer.hi] = np.maximum(lo, hi)
+        for nodes, desc_rows in layer.block_groups:
+            sub = np.sort(arr[:, nodes], axis=2)
+            if desc_rows.size:
+                sub[:, desc_rows] = sub[:, desc_rows, ::-1]
+            arr[:, nodes] = sub
+
+    def run(self, state: np.ndarray) -> np.ndarray:
+        """Execute the schedule over a key vector or a whole batch.
+
+        ``state`` has shape ``(num_nodes,)`` or ``(batch, num_nodes)``,
+        indexed by flat node id; returns a fresh array of the same shape.
+        Semantically identical to :func:`repro.schedule.ir.replay` — the
+        property tests pin that equivalence — just fewer, wider passes.
+
+        When a :class:`~repro.observability.kernelprof.KernelProfiler` is
+        installed (see :func:`set_profiler`) and enabled, the run is timed
+        layer by layer; otherwise the only overhead is one ``None`` check.
+        """
+        profiler = _PROFILER
+        if profiler is not None and profiler.enabled:
+            return profiler.profiled_run(self, state)
+        arr, squeeze = self._prepare(state)
         for layer in self.layers:
-            if layer.lo.size:
-                lo = arr[:, layer.lo]
-                hi = arr[:, layer.hi]
-                arr[:, layer.lo] = np.minimum(lo, hi)
-                arr[:, layer.hi] = np.maximum(lo, hi)
-            for nodes, desc_rows in layer.block_groups:
-                sub = np.sort(arr[:, nodes], axis=2)
-                if desc_rows.size:
-                    sub[:, desc_rows] = sub[:, desc_rows, ::-1]
-                arr[:, nodes] = sub
+            self.apply_layer(arr, layer)
         return arr[0] if squeeze else arr
 
     __call__ = run
@@ -150,16 +189,59 @@ class CompiledSchedule:
         )
 
 
+_KERNEL_LOCK = threading.Lock()
 _KERNELS: dict[tuple[str, bool], CompiledSchedule] = {}
+
+#: hit/miss/compile-time accounting for the kernel cache (see
+#: :mod:`repro.observability.cachestats`)
+KERNEL_CACHE_STATS = CacheStats("compiled-kernels", size_fn=lambda: len(_KERNELS))
+
+#: process-wide profiler hook; ``None`` (the default) keeps :meth:`run` on
+#: the zero-instrumentation fast path
+_PROFILER: "KernelProfiler | None" = None
+
+
+def set_profiler(profiler: "KernelProfiler | None") -> "KernelProfiler | None":
+    """Install (``None``: remove) the process-wide kernel profiler.
+
+    Returns the previously installed profiler so callers can restore it —
+    :class:`~repro.observability.kernelprof.KernelProfiler` does exactly
+    that when used as a context manager.
+    """
+    global _PROFILER
+    previous = _PROFILER
+    _PROFILER = profiler
+    return previous
+
+
+def get_profiler() -> "KernelProfiler | None":
+    """The currently installed process-wide kernel profiler, if any."""
+    return _PROFILER
 
 
 def compile_schedule(dag: ComparatorDAG, packed: bool = True) -> CompiledSchedule:
     """Compile (or fetch from the hash-keyed cache) a DAG's batch kernel."""
-    key = (dag.schedule_hash(), packed)
-    kernel = _KERNELS.get(key)
-    if kernel is None:
-        kernel = _KERNELS[key] = CompiledSchedule(dag, packed=packed)
-    return kernel
+    schedule_hash = dag.schedule_hash()
+    key = (schedule_hash, packed)
+    with _KERNEL_LOCK:
+        kernel = _KERNELS.get(key)
+    if kernel is not None:
+        KERNEL_CACHE_STATS.record_hit()
+        return kernel
+    # build outside the lock (compilation is pure); a racing thread may
+    # build the same kernel, in which case setdefault keeps the first one
+    t0 = perf_counter()
+    built = CompiledSchedule(dag, packed=packed, schedule_hash=schedule_hash)
+    KERNEL_CACHE_STATS.record_miss(perf_counter() - t0)
+    with _KERNEL_LOCK:
+        return _KERNELS.setdefault(key, built)
+
+
+def clear_kernel_cache() -> None:
+    """Drop every compiled kernel and reset its cache statistics."""
+    with _KERNEL_LOCK:
+        _KERNELS.clear()
+    KERNEL_CACHE_STATS.reset()
 
 
 def round_plan(dag: ComparatorDAG) -> CompiledSchedule:

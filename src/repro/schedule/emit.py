@@ -31,11 +31,14 @@ kernels are additionally cached by the DAG's canonical SHA-256 hash — see
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
+from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from ..observability.cachestats import CacheStats
 from ..orders.gray import rank_lattice
 from .ir import BlockSortOp, ComparatorDAG, ComparatorOp, SchedulePhase, ScheduleRound
 
@@ -48,10 +51,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = [
     "emit_lattice_schedule",
     "emit_machine_schedule",
+    "clear_emission_caches",
     "EmittedMachineSchedule",
     "SpanInstr",
     "span_path_entry",
 ]
+
+#: one lock covers both emission caches (they are touched together only by
+#: :func:`clear_emission_caches`, and contention is negligible)
+_EMIT_LOCK = threading.Lock()
 
 
 def span_path_entry(name: str, attrs: dict[str, Any]) -> str:
@@ -89,6 +97,8 @@ class _PhaseRec:
 
 _LATTICE_CACHE: dict[tuple[str, int, int, int, int], ComparatorDAG] = {}
 
+LATTICE_CACHE_STATS = CacheStats("lattice-emission", size_fn=lambda: len(_LATTICE_CACHE))
+
 
 def emit_lattice_schedule(
     factor: "FactorGraph", r: int, s2_rounds: int, routing_rounds: int
@@ -103,9 +113,12 @@ def emit_lattice_schedule(
         raise ValueError("the algorithm needs r >= 2 (§3.3)")
     n = int(factor.n)
     key = (factor.name, n, r, int(s2_rounds), int(routing_rounds))
-    cached = _LATTICE_CACHE.get(key)
+    with _EMIT_LOCK:
+        cached = _LATTICE_CACHE.get(key)
     if cached is not None:
+        LATTICE_CACHE_STATS.record_hit()
         return cached
+    t_build = perf_counter()
 
     ids = np.arange(n**r, dtype=np.intp).reshape((n,) * r)
     snake2 = np.argsort(np.asarray(rank_lattice(n, 2)).ravel())
@@ -203,8 +216,9 @@ def emit_lattice_schedule(
         meta={"emitted": True, "s2_rounds": int(s2_rounds),
               "routing_rounds": int(routing_rounds)},
     )
-    _LATTICE_CACHE[key] = dag
-    return dag
+    LATTICE_CACHE_STATS.record_miss(perf_counter() - t_build)
+    with _EMIT_LOCK:
+        return _LATTICE_CACHE.setdefault(key, dag)
 
 
 # ----------------------------------------------------------------------
@@ -317,6 +331,8 @@ class _MachineEmitRecorder:
 
 _MACHINE_CACHE: dict[tuple[str, int, int, str], EmittedMachineSchedule] = {}
 
+MACHINE_CACHE_STATS = CacheStats("machine-emission", size_fn=lambda: len(_MACHINE_CACHE))
+
 
 def emit_machine_schedule(sorter: "MachineSorter") -> EmittedMachineSchedule:
     """Emit the machine backend's schedule by planning one keyless run.
@@ -330,9 +346,12 @@ def emit_machine_schedule(sorter: "MachineSorter") -> EmittedMachineSchedule:
 
     network = sorter.network
     key = (network.factor.name, network.factor.n, network.r, sorter.sorter.name)
-    cached = _MACHINE_CACHE.get(key)
+    with _EMIT_LOCK:
+        cached = _MACHINE_CACHE.get(key)
     if cached is not None:
+        MACHINE_CACHE_STATS.record_hit()
         return cached
+    t_build = perf_counter()
 
     bus = EventBus()
     recorder = bus.subscribe(_MachineEmitRecorder(network))
@@ -343,5 +362,15 @@ def emit_machine_schedule(sorter: "MachineSorter") -> EmittedMachineSchedule:
     assert machine.rounds == ledger.total_rounds == emitted.dag.depth, (
         "emission must attribute every planned round"
     )
-    _MACHINE_CACHE[key] = emitted
-    return emitted
+    MACHINE_CACHE_STATS.record_miss(perf_counter() - t_build)
+    with _EMIT_LOCK:
+        return _MACHINE_CACHE.setdefault(key, emitted)
+
+
+def clear_emission_caches() -> None:
+    """Drop every emitted schedule and reset both caches' statistics."""
+    with _EMIT_LOCK:
+        _LATTICE_CACHE.clear()
+        _MACHINE_CACHE.clear()
+    LATTICE_CACHE_STATS.reset()
+    MACHINE_CACHE_STATS.reset()

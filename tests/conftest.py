@@ -53,5 +53,20 @@ def any_factor(request):
     return SMALL_FACTORS[request.param]
 
 
+@pytest.fixture
+def schedule_caches():
+    """Pristine schedule caches (emission + compiled kernels) around a test.
+
+    The module-level caches are process-wide; tests asserting hit/miss
+    counts or cache sizes request this fixture so earlier tests cannot leak
+    state in, and their own entries cannot leak out.
+    """
+    from repro.schedule import clear_caches
+
+    clear_caches()
+    yield
+    clear_caches()
+
+
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: long-running exhaustive checks")

@@ -60,10 +60,10 @@ class TestWorkloadMatrix:
             run_cell(WorkloadCell("path", 3, 2, "quantum"))
 
     def test_schema_version_pinned(self):
-        # v3: every cell pins its canonical schedule_hash and lattice cells
-        # may carry a ``compiled`` batch-kernel block.
+        # v4: lattice cells run with a batch also carry a ``profile`` block
+        # (p50/p99 compiled-run latency, keys/s, occupancy summary).
         # Bump this pin deliberately alongside BENCH_seed.json regeneration.
-        assert SCHEMA_VERSION == 3
+        assert SCHEMA_VERSION == 4
 
     def test_document_schema(self, matrix_doc):
         assert matrix_doc["schema_version"] == SCHEMA_VERSION
@@ -151,6 +151,14 @@ class TestWorkloadMatrix:
         machine = run_cell(WorkloadCell("k2", 2, 2, "machine"), seed=0,
                            compiled_batch=32)
         assert "compiled" not in machine
+        # v4: the same run also profiles the kernel
+        profile = record["profile"]
+        assert profile["batch"] == 32 and profile["runs"] >= 1
+        assert profile["layers"] == compiled["layers"]
+        assert 0 < profile["p50_run_s"] <= profile["p99_run_s"]
+        assert profile["keys_per_s"] > 0
+        assert 0 < profile["mean_occupancy"] <= profile["max_occupancy"]
+        assert "profile" not in machine
 
 
 class TestPersistence:
@@ -253,6 +261,15 @@ class TestComparison:
         assert DEFAULT_THRESHOLDS["total_rounds"] == 0.0
         assert DEFAULT_THRESHOLDS["wall_time_s"] is None
 
+    def test_improved_direction_flips_for_throughput_metrics(self):
+        # wall time: lower is better
+        assert MetricDelta("c", "wall_time_s", 2.0, 1.0, None).improved
+        assert not MetricDelta("c", "wall_time_s", 1.0, 2.0, None).improved
+        # throughput/speedup: higher is better
+        assert MetricDelta("c", "profile.keys_per_s", 1e6, 2e6, None).improved
+        assert not MetricDelta("c", "profile.keys_per_s", 2e6, 1e6, None).improved
+        assert MetricDelta("c", "compiled.speedup", 40.0, 80.0, None).improved
+
     def test_schedule_hash_drift_is_an_error(self, matrix_doc):
         drifted = copy.deepcopy(matrix_doc)
         drifted["cells"][0]["schedule_hash"] = "f" * 64
@@ -293,7 +310,7 @@ class TestBenchCli:
         doc = load_document(str(out))
         assert doc["label"] == "t" and len(doc["cells"]) == len(DEFAULT_MATRIX)
         stdout = capsys.readouterr().out
-        assert "schema v3" in stdout and "conformance=ok" in stdout
+        assert "schema v4" in stdout and "conformance=ok" in stdout
 
     def test_bench_compare_same_file_ok(self, tmp_path, capsys, matrix_doc):
         path = write_document(matrix_doc, str(tmp_path / "BENCH_t.json"))
