@@ -354,6 +354,63 @@ def _section_kernelprof(seed: int) -> str:
     )
 
 
+def _section_serving(seed: int) -> str:
+    from ..serve import ServiceConfig, default_scenarios, run_loadgen
+
+    config = ServiceConfig(max_batch=32, max_delay_ms=1.0, max_queue_depth=1024)
+    rows = []
+    all_ok = True
+    for scenario in default_scenarios(seed):
+        doc = run_loadgen(scenario, config=config)
+        counts = doc["counts"]
+        lat = doc["latency_ms"] or {}
+        queue = next(iter((doc["service"] or {}).values()), {})
+        ok = (
+            counts["completed"] == counts["offered"]
+            and not counts["rejected"]
+            and not counts["mismatches"]
+            and not counts["errors"]
+        )
+        all_ok &= ok
+        rows.append(
+            [
+                scenario.key,
+                f"{counts['completed']}/{counts['offered']}",
+                counts["rejected"],
+                counts["mismatches"],
+                queue.get("batches", 0),
+                f"{queue.get('mean_batch_occupancy', 0.0):.2f}",
+                queue.get("peak_depth", 0),
+                f"{lat.get('p50', float('nan')):.2f}",
+                f"{lat.get('p99', float('nan')):.2f}",
+                "ok" if ok else "FAILED",
+            ]
+        )
+    table = format_markdown_table(
+        ["scenario", "completed", "shed", "mismatch", "batches", "mean occ",
+         "peak depth", "p50 ms", "p99 ms", "verdict"],
+        rows,
+    )
+    verdict = (
+        "Every response matched the snake-order ground truth bit for bit, "
+        "with zero requests shed — the suite runs below the compiled "
+        "kernels' capacity, so any rejection would mean a service regression."
+        if all_ok
+        else "SERVING FAILURES FOUND."
+    )
+    return (
+        "## Serving observatory — micro-batched sort service under load\n\n"
+        "Each scenario drives the sort service (`repro serve` / `repro "
+        "loadgen`) with open-loop arrivals: requests fire at pre-drawn "
+        "Poisson or burst offsets regardless of completions, the service "
+        "coalesces them into compiled-kernel batches under a 1 ms latency "
+        "budget, and admission control bounds every queue.  The health "
+        "columns come from the service's own `/queues.json` telemetry.\n\n"
+        + table
+        + f"\n\n{verdict}\n"
+    )
+
+
 def generate_report(seed: int = 0, max_n_lemma1: int = 3, max_r_hypercube: int = 7) -> str:
     """Build the full markdown report; every number is measured on the spot."""
     header = (
@@ -372,6 +429,7 @@ def generate_report(seed: int = 0, max_n_lemma1: int = 3, max_r_hypercube: int =
         _section_topology(seed),
         _section_bench(seed),
         _section_kernelprof(seed),
+        _section_serving(seed),
         _section_staticcheck(seed),
     ]
     return "\n".join(sections)

@@ -21,6 +21,12 @@ Reproduces the paper's evaluation from the shell:
   Chrome trace (``--chrome``);
 * ``metrics`` — serve the live Prometheus endpoint (``/metrics``,
   ``/healthz``, ``/snapshot.json``) warmed with profiled kernel runs;
+* ``serve`` — the micro-batched sort service: ``POST /sort`` +
+  ``GET /queues.json`` + live ``/metrics`` on one port, graceful shutdown
+  on SIGINT/SIGTERM;
+* ``loadgen`` — open-loop load generation (Poisson/burst arrivals, four
+  key mixes) against an in-process service or a live ``--target`` URL,
+  every response verified against snake-order ground truth;
 * ``worked-example`` — the Figs. 12-15 walkthrough (delegates to the
   example script's logic);
 * ``gray`` — print Gray/snake orders for small products (Figs. 3-5).
@@ -306,7 +312,13 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     from .observability.benchreg import DEFAULT_MATRIX, bench_path, run_matrix, write_document
 
     batch = args.batch if args.compiled else None
-    doc = run_matrix(DEFAULT_MATRIX, seed=args.seed, label=args.label, compiled_batch=batch)
+    doc = run_matrix(
+        DEFAULT_MATRIX,
+        seed=args.seed,
+        label=args.label,
+        compiled_batch=batch,
+        serving=args.serving,
+    )
     path = args.out if args.out else bench_path(args.label)
     write_document(doc, path)
     bad = [
@@ -331,6 +343,16 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
                 f"{compiled['layers']}L(batch {compiled['batch']})"
             )
         print(line)
+    for scenario in doc.get("serving", {}).get("scenarios", []):
+        s, c = scenario["scenario"], scenario["counts"]
+        lat = scenario.get("latency_ms") or {}
+        print(
+            f"  serving {s['key']:<32} completed={c['completed']}/{c['offered']}  "
+            f"rejected={c['rejected']}  mismatches={c['mismatches']}  "
+            f"p99={lat.get('p99', float('nan')):.2f}ms"
+        )
+        if c["rejected"] or c["mismatches"] or c["errors"]:
+            bad.append(f"serving:{s['key']}")
     if bad:
         print(f"CONFORMANCE FAILURES: {', '.join(bad)}", file=sys.stderr)
         return 1
@@ -354,6 +376,7 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
             seed=args.seed,
             label="candidate",
             compiled_batch=args.batch if args.compiled else None,
+            serving=args.serving,
         )
     baseline_path = args.baseline or find_baseline(".", exclude=args.candidate)
     if baseline_path is None:
@@ -500,12 +523,138 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         "(also /healthz, /snapshot.json) — Ctrl-C to stop",
         file=sys.stderr,
     )
+    # graceful shutdown: SIGINT/SIGTERM stops accepting, closes the
+    # listening socket and joins the serving thread
+    server.run_blocking()
+    print("metrics server stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve import ServiceConfig, SortService, build_sort_server
+
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.close()
+        config = ServiceConfig(
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            max_queue_depth=args.max_queue_depth,
+            deadline_ms=args.deadline_ms,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    async def amain() -> int:
+        loop = asyncio.get_running_loop()
+        async with SortService(config) as service:
+            try:
+                for cell in args.cell or ["path-n3-r3"]:
+                    service.prewarm(cell)
+            except ValueError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            try:
+                server = build_sort_server(service, loop, host=args.host, port=args.port)
+            except OSError as exc:
+                print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+                return 1
+            server.start()
+            print(
+                f"sort service on {server.url('/sort')} (POST) — queues "
+                f"{', '.join(service.cells)}; health {server.url('/queues.json')}, "
+                f"metrics {server.url('/metrics')} — Ctrl-C to stop",
+                file=sys.stderr,
+            )
+            stop = asyncio.Event()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, stop.set)
+            try:
+                await stop.wait()
+            finally:
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    loop.remove_signal_handler(signum)
+                print(
+                    "shutting down: draining queues, closing listening socket",
+                    file=sys.stderr,
+                )
+                server.stop()
+        return 0
+
+    return asyncio.run(amain())
+
+
+def _render_loadgen(doc: dict) -> str:
+    s, c = doc["scenario"], doc["counts"]
+    lines = [
+        f"loadgen {s['key']}: {s['requests']} requests @ {s['rate']:g}/s "
+        f"({s['arrivals']} arrivals, seed {s['seed']})",
+        f"  offered={c['offered']} completed={c['completed']} rejected={c['rejected']} "
+        f"mismatches={c['mismatches']} errors={c['errors']}",
+    ]
+    lat = doc.get("latency_ms")
+    if lat is not None:
+        lines.append(
+            f"  latency p50={lat['p50']:.2f}ms p90={lat['p90']:.2f}ms "
+            f"p99={lat['p99']:.2f}ms max={lat['max']:.2f}ms"
+        )
+    lines.append(
+        f"  duration={doc['duration_s']:.2f}s offered_rps={doc['offered_rps']:.0f} "
+        f"completed_rps={doc['completed_rps']:.0f}"
+    )
+    for key, q in (doc.get("service") or {}).items():
+        p99 = q.get("p99_ms")
+        lines.append(
+            f"  queue {key}: batches={q['batches']} "
+            f"mean_occupancy={q['mean_batch_occupancy']:.2f} "
+            f"peak_depth={q['peak_depth']} deadline_misses={q['deadline_misses']} "
+            f"p99={'n/a' if p99 is None else f'{p99:.2f}ms'}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .serve import LoadScenario, ServiceConfig, run_loadgen
+
+    try:
+        scenario = LoadScenario(
+            cell=args.cell,
+            mix=args.mix,
+            arrivals=args.arrivals,
+            rate=args.rate,
+            requests=args.requests,
+            seed=args.seed,
+            burst_factor=args.burst_factor,
+            burst_len=args.burst_len,
+        )
+        config = ServiceConfig(
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            max_queue_depth=args.max_queue_depth,
+            deadline_ms=args.deadline_ms,
+            flush_penalty_s=args.flush_penalty,
+        )
+        doc = run_loadgen(scenario, config=config, target=args.target)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    text = json.dumps(doc, indent=2) if args.json else _render_loadgen(doc)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text if text.endswith("\n") else text + "\n")
+    counts = doc["counts"]
+    if counts["mismatches"] or counts["errors"]:
+        print(
+            f"LOADGEN FAILURES: {counts['mismatches']} ground-truth mismatches, "
+            f"{counts['errors']} errors",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -618,6 +767,12 @@ def build_parser() -> argparse.ArgumentParser:
         "lattice path on every lattice cell",
     )
     b.add_argument("--batch", type=int, default=256, help="batch size for --compiled")
+    b.add_argument(
+        "--serving",
+        action="store_true",
+        help="also run the canonical serving load-generation suite (schema v5 "
+        "'serving' section; structural counts gated at zero tolerance)",
+    )
     b.set_defaults(func=_cmd_bench_run)
 
     b = bench_sub.add_parser(
@@ -640,6 +795,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="when running the candidate matrix, include the compiled-kernel blocks",
     )
     b.add_argument("--batch", type=int, default=256, help="batch size for --compiled")
+    b.add_argument(
+        "--serving",
+        action="store_true",
+        help="when running the candidate matrix, include the serving suite",
+    )
     b.set_defaults(func=_cmd_bench_compare)
 
     b = bench_sub.add_parser(
@@ -740,6 +900,65 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=3, help="warm-up profiled runs per plan")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "serve",
+        help="micro-batched sort service: POST /sort + /queues.json + /metrics on one port",
+    )
+    p.add_argument("--port", type=int, default=0, metavar="PORT",
+                   help="port to listen on (0 = ephemeral, printed on startup)")
+    p.add_argument("--host", type=str, default="127.0.0.1")
+    p.add_argument(
+        "--cell",
+        action="append",
+        default=None,
+        metavar="KEY",
+        help="cell queue to prewarm (repeatable; default path-n3-r3); other "
+        "cells are built lazily on first request",
+    )
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="flush a queue when this many requests are waiting")
+    p.add_argument("--max-delay-ms", type=float, default=2.0,
+                   help="... or when the oldest request has waited this long")
+    p.add_argument("--max-queue-depth", type=int, default=512,
+                   help="admission bound per queue; excess load is shed with 503")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="latency SLO; completions past it count deadline misses")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="open-loop load generation against the sort service, "
+        "verified against snake-order ground truth",
+    )
+    p.add_argument("--cell", type=str, default="path-n3-r3", help="cell to load")
+    p.add_argument("--mix", choices=("uniform", "duplicates", "presorted", "adversarial"),
+                   default="uniform", help="key mix")
+    p.add_argument("--arrivals", choices=("poisson", "burst"), default="poisson",
+                   help="arrival schedule")
+    p.add_argument("--rate", type=float, default=2000.0, help="mean offered rate (req/s)")
+    p.add_argument("--requests", type=int, default=200, help="total requests to offer")
+    p.add_argument("--burst-factor", type=float, default=8.0,
+                   help="burst arrivals: rate multiplier inside a burst window")
+    p.add_argument("--burst-len", type=int, default=16,
+                   help="burst arrivals: requests per quiet/burst window")
+    p.add_argument("--target", type=str, default=None, metavar="URL",
+                   help="drive a live service (http://host:port) instead of in-process")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="in-process service: flush threshold")
+    p.add_argument("--max-delay-ms", type=float, default=2.0,
+                   help="in-process service: flush deadline")
+    p.add_argument("--max-queue-depth", type=int, default=512,
+                   help="in-process service: admission bound")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="in-process service: latency SLO")
+    p.add_argument("--flush-penalty", type=float, default=0.0, metavar="SECONDS",
+                   help="in-process service: artificial per-flush service time "
+                   "(overload/backpressure drills)")
+    p.add_argument("--json", action="store_true", help="machine-readable result document")
+    p.add_argument("--out", type=str, default=None, help="write to a file instead of stdout")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_loadgen)
 
     p = sub.add_parser("gray", help="print Gray/snake orders (Figs. 3-5)")
     p.add_argument("--n", type=int, default=3)

@@ -15,8 +15,13 @@ every cell is one full traced sort — and snapshots, per cell:
 * a compiled-kernel ``profile`` block (lattice cells run with a batch):
   p50/p99 run latency, keys/s and per-layer occupancy summary from the
   :class:`~repro.observability.kernelprof.KernelProfiler` — layer/op counts
-  structural, the rest informational, and
-* wall time (informational; never a pass/fail signal by default).
+  structural, the rest informational,
+* wall time (informational; never a pass/fail signal by default), and
+* with ``--serving`` (schema v5) a top-level ``serving`` section: the
+  canonical :mod:`repro.serve` load-generation suite — per scenario the
+  structural counts (offered / completed / rejected / mismatches / errors)
+  are compared for exact equality, while latency percentiles and
+  throughput stay informational.
 
 The snapshot is written as a schema-versioned ``BENCH_<label>.json`` at the
 repo root, so every PR leaves a comparable perf record in git history.
@@ -36,7 +41,7 @@ import glob
 import json
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 import numpy as np
@@ -51,6 +56,7 @@ __all__ = [
     "load_document",
     "find_baseline",
     "DEFAULT_THRESHOLDS",
+    "SERVING_STRUCTURAL_COUNTS",
     "MetricDelta",
     "ComparisonResult",
     "compare_documents",
@@ -64,8 +70,12 @@ __all__ = [
 #: carry a ``compiled`` batch-kernel speedup block;
 #: v4: lattice cells run with a batch also carry a ``profile`` block —
 #: p50/p99 compiled-run latency, keys/s and per-layer occupancy summary —
-#: informational except the structural layer/op counts)
-SCHEMA_VERSION = 4
+#: informational except the structural layer/op counts;
+#: v5: documents run with ``--serving`` carry a top-level ``serving``
+#: section — :mod:`repro.serve` load-generation scenarios whose structural
+#: counts (offered / completed / rejected / mismatches / errors) are gated
+#: at zero tolerance while latency and throughput stay informational)
+SCHEMA_VERSION = 5
 
 #: profiled runs behind each ``profile`` block's percentiles
 PROFILE_RUNS = 9
@@ -346,14 +356,35 @@ def _traffic_record(sorter, keys) -> tuple[dict[str, Any], dict[str, Any]]:
     return traffic, topology
 
 
+def _serving_record(seed: int = 0) -> dict[str, Any]:
+    """Run the canonical :mod:`repro.serve` load-generation suite (v5).
+
+    Every scenario drives an in-process :class:`~repro.serve.SortService`
+    with open-loop arrivals well below the compiled kernels' capacity, so a
+    healthy build completes every request with zero rejections and zero
+    ground-truth mismatches — which is exactly what the comparison gates on.
+    """
+    from ..serve import ServiceConfig, default_scenarios, run_loadgen
+
+    config = ServiceConfig(max_batch=32, max_delay_ms=1.0, max_queue_depth=1024)
+    return {
+        "config": config.to_json(),
+        "scenarios": [run_loadgen(s, config=config) for s in default_scenarios(seed)],
+    }
+
+
 def run_matrix(
     cells: tuple[WorkloadCell, ...] = DEFAULT_MATRIX,
     seed: int = 0,
     label: str = "local",
     compiled_batch: int | None = None,
+    serving: bool = False,
 ) -> dict[str, Any]:
-    """Run every cell and assemble the schema-versioned snapshot document."""
-    return {
+    """Run every cell and assemble the schema-versioned snapshot document.
+
+    ``serving=True`` additionally runs the canonical serving load-generation
+    suite and lands it in the document's top-level ``serving`` section."""
+    doc: dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
         "label": label,
         "created": time.time(),
@@ -362,6 +393,9 @@ def run_matrix(
             run_cell(cell, seed=seed, compiled_batch=compiled_batch) for cell in cells
         ],
     }
+    if serving:
+        doc["serving"] = _serving_record(seed)
+    return doc
 
 
 # ----------------------------------------------------------------------
@@ -452,7 +486,21 @@ DEFAULT_THRESHOLDS: dict[str, float | None] = {
     "profile.keys_per_s": None,
     "profile.mean_occupancy": None,
     "profile.max_occupancy": None,
+    # serving scenarios (v5): structural counts are compared for *exact*
+    # equality in compare_documents (zero tolerance, handled outside the
+    # threshold machinery); everything wall-clock stays informational
+    "serving.duration_s": None,
+    "serving.offered_rps": None,
+    "serving.completed_rps": None,
+    "serving.latency_ms.p50": None,
+    "serving.latency_ms.p90": None,
+    "serving.latency_ms.p99": None,
+    "serving.latency_ms.max": None,
+    "serving.latency_ms.mean": None,
 }
+
+#: structural per-scenario counts gated at exact equality between snapshots
+SERVING_STRUCTURAL_COUNTS = ("offered", "completed", "rejected", "mismatches", "errors")
 
 
 def _comparable_metrics(cell: dict[str, Any]) -> dict[str, float]:
@@ -473,6 +521,8 @@ HIGHER_IS_BETTER = frozenset({
     "profile.keys_per_s",
     "profile.mean_occupancy",
     "profile.max_occupancy",
+    "serving.completed_rps",
+    "serving.offered_rps",
 })
 
 
@@ -516,6 +566,8 @@ class ComparisonResult:
     errors: list[str]
     #: cells present only in the candidate (informational)
     new_cells: list[str]
+    #: informational remarks (e.g. candidate skipped the serving suite)
+    notes: list[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> list[MetricDelta]:
@@ -539,6 +591,8 @@ class ComparisonResult:
             lines.append("  all compared metrics unchanged")
         for cell in self.new_cells:
             lines.append(f"  note: new cell {cell} (no baseline)")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
         lines.append(
             f"verdict: {'OK' if self.ok else 'REGRESSION'} "
             f"({len(self.regressions)} regressed metrics, {len(self.errors)} errors)"
@@ -614,4 +668,95 @@ def compare_documents(
                     threshold=threshold,
                 )
             )
+    _compare_serving(result, baseline, candidate, limits)
     return result
+
+
+def _serving_scalars(scenario_result: dict[str, Any]) -> dict[str, float]:
+    """Flatten one scenario result's informational numbers for deltas."""
+    out: dict[str, float] = {}
+    for key, value in (scenario_result.get("latency_ms") or {}).items():
+        out[f"serving.latency_ms.{key}"] = float(value)
+    for key in ("duration_s", "offered_rps", "completed_rps"):
+        value = scenario_result.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[f"serving.{key}"] = float(value)
+    return out
+
+
+def _compare_serving(
+    result: ComparisonResult,
+    baseline: dict[str, Any],
+    candidate: dict[str, Any],
+    limits: dict[str, float | None],
+) -> None:
+    """Gate the v5 ``serving`` section.
+
+    Candidate invariants hold regardless of the baseline: ground-truth
+    mismatches, request errors and rejections are hard errors — the
+    canonical suite runs far below capacity, so *any* shed request means the
+    service (not the load) changed.  Against a baseline, the structural
+    counts must match exactly (zero tolerance); latency and throughput feed
+    informational deltas.  A candidate without a serving section is a note,
+    not an error — plain matrix runs (and older comparisons) stay valid.
+    """
+    base = baseline.get("serving")
+    cand = candidate.get("serving")
+    if cand is None:
+        if base is not None:
+            result.notes.append(
+                "baseline has a serving section but the candidate was run "
+                "without --serving; serving comparison skipped"
+            )
+        return
+    base_scenarios = {
+        s["scenario"]["key"]: s for s in (base or {}).get("scenarios", [])
+    }
+    cand_scenarios = {s["scenario"]["key"]: s for s in cand.get("scenarios", [])}
+
+    for key, scenario in cand_scenarios.items():
+        label = f"serving:{key}"
+        counts = scenario.get("counts", {})
+        if counts.get("mismatches", 0):
+            result.errors.append(
+                f"{label}: {counts['mismatches']} responses diverged from "
+                "the snake-order ground truth"
+            )
+        if counts.get("errors", 0):
+            result.errors.append(f"{label}: {counts['errors']} requests errored")
+        if counts.get("rejected", 0):
+            result.errors.append(
+                f"{label}: {counts['rejected']} requests shed — the canonical "
+                "suite runs below capacity, rejections mean lost throughput"
+            )
+        base_scenario = base_scenarios.get(key)
+        if base_scenario is None:
+            if base is not None:
+                result.new_cells.append(label)
+            continue
+        base_counts = base_scenario.get("counts", {})
+        for name in SERVING_STRUCTURAL_COUNTS:
+            if int(counts.get(name, 0)) != int(base_counts.get(name, 0)):
+                result.errors.append(
+                    f"{label}: structural count '{name}' changed "
+                    f"{base_counts.get(name, 0)} -> {counts.get(name, 0)} "
+                    "(zero tolerance)"
+                )
+        cand_scalars = _serving_scalars(scenario)
+        base_scalars = _serving_scalars(base_scenario)
+        for metric, cand_value in cand_scalars.items():
+            if metric not in base_scalars:
+                continue
+            result.deltas.append(
+                MetricDelta(
+                    cell=label,
+                    metric=metric,
+                    baseline=base_scalars[metric],
+                    candidate=cand_value,
+                    threshold=limits.get(metric),
+                )
+            )
+    if base is not None:
+        for key in base_scenarios:
+            if key not in cand_scenarios:
+                result.errors.append(f"serving scenario {key} missing from candidate")

@@ -117,12 +117,20 @@ def all_cache_stats() -> dict[str, dict[str, Any]]:
     return {name: s.snapshot() for name, s in stats}
 
 
+#: serialises concurrent publishes: the read-clamp-increment sequence below
+#: is not atomic per counter, so two racing scrapes could otherwise both
+#: observe the same stale value and double-apply a delta
+_PUBLISH_LOCK = threading.Lock()
+
+
 def publish_cache_metrics(registry: "MetricsRegistry") -> None:
     """Mirror every cache's cumulative stats into ``registry``.
 
     Idempotent: counters advance by the delta since the last publish (a cache
     reset between publishes clamps the delta at zero rather than violating
-    counter monotonicity), so this is safe to call on every scrape.
+    counter monotonicity), so this is safe to call on every scrape — and the
+    whole publish runs under a module lock, so concurrent scrapes cannot
+    double-count a delta.
     """
     hits = registry.counter(
         "repro_schedule_cache_hits_total", "schedule-cache lookup hits, by cache"
@@ -134,9 +142,12 @@ def publish_cache_metrics(registry: "MetricsRegistry") -> None:
         "repro_schedule_cache_build_seconds_total", "seconds spent building cache entries, by cache"
     )
     size = registry.gauge("repro_schedule_cache_size", "live entries per schedule cache")
-    for snap in all_cache_stats().values():
-        name = str(snap["name"])
-        hits.inc(max(0.0, float(snap["hits"]) - hits.value(cache=name)), cache=name)
-        misses.inc(max(0.0, float(snap["misses"]) - misses.value(cache=name)), cache=name)
-        builds.inc(max(0.0, float(snap["build_seconds"]) - builds.value(cache=name)), cache=name)
-        size.set(float(snap["size"]), cache=name)
+    with _PUBLISH_LOCK:
+        for snap in all_cache_stats().values():
+            name = str(snap["name"])
+            hits.inc(max(0.0, float(snap["hits"]) - hits.value(cache=name)), cache=name)
+            misses.inc(max(0.0, float(snap["misses"]) - misses.value(cache=name)), cache=name)
+            builds.inc(
+                max(0.0, float(snap["build_seconds"]) - builds.value(cache=name)), cache=name
+            )
+            size.set(float(snap["size"]), cache=name)

@@ -17,20 +17,35 @@ hook :func:`build_metrics_server` uses to refresh schedule-cache counters so
 ``repro_schedule_cache_{hits,misses}_total`` are current at scrape time.
 Start via ``repro metrics --serve PORT`` (see ``docs/profiling.md``) or
 embed with ``with MetricsServer(registry) as server: ...``.
+
+Two growth points serve the serving layer (:mod:`repro.serve`):
+
+* ``handlers`` — extra routes keyed by ``(METHOD, path)``; the sort
+  service mounts ``POST /sort`` and ``GET /queues.json`` this way, and
+  unknown paths still get a proper plain-text ``404`` (wrong method on a
+  known path gets ``405`` with an ``Allow`` header);
+* :meth:`MetricsServer.run_blocking` — the graceful-shutdown path
+  ``repro serve`` / ``repro metrics --serve`` use: serve until SIGINT /
+  SIGTERM (or :meth:`MetricsServer.request_shutdown`), then stop accepting,
+  close the listening socket and join the serving thread.
 """
 
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable
 
 from .metrics import MetricsRegistry
 
-__all__ = ["MetricsServer", "PROMETHEUS_CONTENT_TYPE", "build_metrics_server"]
+__all__ = ["MetricsServer", "PROMETHEUS_CONTENT_TYPE", "RouteHandler", "build_metrics_server"]
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: extra-route signature: request body -> (status, content type, body)
+RouteHandler = Callable[[bytes], tuple[int, str, bytes]]
 
 
 class MetricsServer:
@@ -50,19 +65,24 @@ class MetricsServer:
         port: int = 0,
         collectors: tuple[Callable[[], None], ...] = (),
         snapshot_extra: Callable[[], dict[str, Any]] | None = None,
+        handlers: dict[tuple[str, str], RouteHandler] | None = None,
     ) -> None:
         self.registry = registry
         self.collectors = list(collectors)
         self.snapshot_extra = snapshot_extra
+        self.handlers = dict(handlers or {})
+        self._shutdown_event = threading.Event()
         outer = self
 
         class _Handler(BaseHTTPRequestHandler):
             def log_message(self, fmt: str, *args: Any) -> None:  # silence stderr
                 pass
 
-            def do_GET(self) -> None:
+            def _serve(self, method: str) -> None:
+                length = int(self.headers.get("Content-Length") or 0)
+                payload = self.rfile.read(length) if length else b""
                 try:
-                    status, ctype, body = outer._respond(self.path)
+                    status, ctype, body = outer._respond(method, self.path, payload)
                 except Exception as exc:  # never kill a serving thread
                     status = 500
                     ctype = "text/plain; charset=utf-8"
@@ -70,8 +90,16 @@ class MetricsServer:
                 self.send_response(status)
                 self.send_header("Content-Type", ctype)
                 self.send_header("Content-Length", str(len(body)))
+                if status == 405:
+                    self.send_header("Allow", outer._allowed(self.path))
                 self.end_headers()
                 self.wfile.write(body)
+
+            def do_GET(self) -> None:
+                self._serve("GET")
+
+            def do_POST(self) -> None:
+                self._serve("POST")
 
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
@@ -79,10 +107,32 @@ class MetricsServer:
 
     # -- request handling ------------------------------------------------
 
-    def _respond(self, path: str) -> tuple[int, str, bytes]:
+    _BUILTIN_PATHS = ("/metrics", "/healthz", "/snapshot.json")
+
+    def _allowed(self, path: str) -> str:
+        """The ``Allow`` header value for a known path hit with a bad method."""
         path = path.split("?", 1)[0]
+        methods = {m for m, p in self.handlers if p == path}
+        if path in self._BUILTIN_PATHS:
+            methods.add("GET")
+        return ", ".join(sorted(methods)) or "GET"
+
+    def _known_paths(self) -> str:
+        extra = sorted({p for _, p in self.handlers})
+        return " ".join(list(self._BUILTIN_PATHS) + extra)
+
+    def _respond(self, method: str, path: str, payload: bytes = b"") -> tuple[int, str, bytes]:
+        path = path.split("?", 1)[0]
+        handler = self.handlers.get((method, path))
+        if handler is not None:
+            return handler(payload)
         if path == "/healthz":
+            if method != "GET":
+                return 405, "text/plain; charset=utf-8", b"method not allowed\n"
             return 200, "text/plain; charset=utf-8", b"ok\n"
+        if path in self._BUILTIN_PATHS or any(p == path for _, p in self.handlers):
+            if method != "GET" or path not in self._BUILTIN_PATHS:
+                return 405, "text/plain; charset=utf-8", b"method not allowed\n"
         for collect in self.collectors:
             collect()
         if path == "/metrics":
@@ -96,7 +146,7 @@ class MetricsServer:
         return (
             404,
             "text/plain; charset=utf-8",
-            b"not found; endpoints: /metrics /healthz /snapshot.json\n",
+            f"not found; endpoints: {self._known_paths()}\n".encode(),
         )
 
     # -- lifecycle -------------------------------------------------------
@@ -136,6 +186,41 @@ class MetricsServer:
     def close(self) -> None:
         """Close the listening socket without a threaded shutdown handshake."""
         self._httpd.server_close()
+
+    def request_shutdown(self) -> None:
+        """Ask a :meth:`run_blocking` loop to exit (thread-safe, idempotent)."""
+        self._shutdown_event.set()
+
+    def run_blocking(self, install_signal_handlers: bool = True) -> None:
+        """Serve until SIGINT/SIGTERM, then shut down gracefully.
+
+        The CLI path (``repro serve``, ``repro metrics --serve``): serving
+        happens on the background thread, the calling thread parks on an
+        event that a signal (or :meth:`request_shutdown`) sets, and teardown
+        is the full handshake — stop accepting, close the listening socket,
+        join the thread — instead of the process dying mid-response.
+        Previous signal dispositions are restored on exit; handler
+        installation is skipped automatically off the main thread.
+        """
+        self._shutdown_event.clear()
+        previous: dict[int, Any] = {}
+        if install_signal_handlers:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    previous[signum] = signal.signal(
+                        signum, lambda *_args: self._shutdown_event.set()
+                    )
+                except ValueError:  # pragma: no cover - not the main thread
+                    pass
+        self.start()
+        try:
+            self._shutdown_event.wait()
+        except KeyboardInterrupt:  # pragma: no cover - manual interrupt race
+            pass
+        finally:
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+            self.stop()
 
     def __enter__(self) -> "MetricsServer":
         return self.start()

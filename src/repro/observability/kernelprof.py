@@ -274,9 +274,12 @@ class KernelProfiler:
                     else nullcontext()
                 )
                 with layer_span:
-                    t0 = time.perf_counter_ns()
-                    kernel.apply_layer(arr, layer)
-                    wall = time.perf_counter_ns() - t0
+                    # Histogram.time() both feeds the per-layer histogram and
+                    # hands back the raw nanoseconds for the LayerProfile —
+                    # no hand-rolled perf_counter_ns delta at this site
+                    with self._layer_seconds.time(cell=kernel.cell) as timer:
+                        kernel.apply_layer(arr, layer)
+                    wall = timer.elapsed_ns
                 layers.append(
                     LayerProfile(
                         index=index,
@@ -312,12 +315,11 @@ class KernelProfiler:
         return out
 
     def _record(self, profile: RunProfile) -> None:
+        # per-layer seconds were already observed live by Histogram.time()
         plan = "packed" if profile.packed else "per-round"
         self._run_seconds.observe(profile.wall_s, cell=profile.cell, packed=plan)
         self._keys_total.inc(profile.keys, cell=profile.cell)
         self._runs_total.inc(cell=profile.cell, packed=plan)
-        for layer in profile.layers:
-            self._layer_seconds.observe(layer.wall_ns / 1e9, cell=profile.cell)
         self.history.append(profile)
 
     # -- derived statistics ---------------------------------------------

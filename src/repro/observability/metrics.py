@@ -36,6 +36,8 @@ Attach to a run with::
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Any, Iterator
 
 from .events import TraceEvent
@@ -44,6 +46,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistogramTimer",
     "MetricsRegistry",
     "MetricsSubscriber",
     "quantile_from_buckets",
@@ -65,7 +68,14 @@ def _format_labels(key: Labels) -> str:
 
 
 class _Instrument:
-    """Shared plumbing: name, help text and a per-label-set series map."""
+    """Shared plumbing: name, help text and a per-label-set series map.
+
+    Every mutation and every read of the series map happens under the
+    instrument's re-entrant lock, so instruments can be updated from worker
+    threads (or an asyncio loop) while a scrape thread walks the registry —
+    the contract the live ``/metrics`` endpoint and the serving layer rely
+    on.
+    """
 
     kind = "untyped"
 
@@ -74,21 +84,25 @@ class _Instrument:
             raise ValueError(f"invalid metric name {name!r}")
         self.name = name
         self.help = help
+        self._lock = threading.RLock()
         self._series: dict[Labels, Any] = {}
 
     def labels(self, **labels: Any) -> Labels:
         """Canonicalise a label set, creating the series if new."""
         key = _labels_key(labels)
-        if key not in self._series:
-            self._series[key] = self._new_series()
+        with self._lock:
+            if key not in self._series:
+                self._series[key] = self._new_series()
         return key
 
     def _new_series(self) -> Any:  # pragma: no cover - overridden
         raise NotImplementedError
 
     def series(self) -> Iterator[tuple[Labels, Any]]:
-        """Every (label set, value) pair, in insertion order."""
-        return iter(self._series.items())
+        """Every (label set, value) pair, in insertion order (a snapshot:
+        safe to iterate while other threads keep observing)."""
+        with self._lock:
+            return iter(list(self._series.items()))
 
 
 class Counter(_Instrument):
@@ -103,12 +117,42 @@ class Counter(_Instrument):
         """Add ``amount`` (must be >= 0) to the labelled series."""
         if amount < 0:
             raise ValueError("counters only go up")
-        key = self.labels(**labels)
-        self._series[key] += amount
+        with self._lock:
+            key = self.labels(**labels)
+            self._series[key] += amount
 
     def value(self, **labels: Any) -> float:
         """Current total of the labelled series (0 if never incremented)."""
-        return self._series.get(_labels_key(labels), 0)
+        with self._lock:
+            return self._series.get(_labels_key(labels), 0)
+
+    def count_exceptions(self, **labels: Any) -> "_ExceptionCounter":
+        """Context manager counting exceptions raised inside the block.
+
+        The exception propagates — this records, it does not swallow::
+
+            with errors.count_exceptions(cell="path-n3-r3"):
+                flush_batch()
+        """
+        return _ExceptionCounter(self, labels)
+
+
+class _ExceptionCounter:
+    """Increments a counter when the guarded block raises (and re-raises)."""
+
+    __slots__ = ("_counter", "_labels")
+
+    def __init__(self, counter: Counter, labels: dict[str, Any]) -> None:
+        self._counter = counter
+        self._labels = labels
+
+    def __enter__(self) -> "_ExceptionCounter":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc_type is not None:
+            self._counter.inc(**self._labels)
+        return False
 
 
 class Gauge(_Instrument):
@@ -121,17 +165,31 @@ class Gauge(_Instrument):
 
     def set(self, value: float, **labels: Any) -> None:
         """Replace the labelled series' value."""
-        self._series[self.labels(**labels)] = value
+        with self._lock:
+            self._series[self.labels(**labels)] = value
+
+    def set_max(self, value: float, **labels: Any) -> None:
+        """Raise the labelled series to ``value`` if it is below it.
+
+        Atomic under the instrument lock — the peak-tracking idiom
+        (queue-depth highwater marks) stays correct under concurrency.
+        """
+        with self._lock:
+            key = self.labels(**labels)
+            if value > self._series[key]:
+                self._series[key] = value
 
     def inc(self, amount: float = 1, **labels: Any) -> None:
-        key = self.labels(**labels)
-        self._series[key] += amount
+        with self._lock:
+            key = self.labels(**labels)
+            self._series[key] += amount
 
     def dec(self, amount: float = 1, **labels: Any) -> None:
         self.inc(-amount, **labels)
 
     def value(self, **labels: Any) -> float:
-        return self._series.get(_labels_key(labels), 0)
+        with self._lock:
+            return self._series.get(_labels_key(labels), 0)
 
 
 #: default histogram buckets: powers of two up to 4096 — right for the
@@ -193,14 +251,29 @@ class Histogram(_Instrument):
 
     def observe(self, value: float, **labels: Any) -> None:
         """Record one observation in the labelled series."""
-        series = self._series[self.labels(**labels)]
-        series.count += 1
-        series.total += value
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                series.bucket_counts[i] += 1
-                return
-        series.bucket_counts[-1] += 1
+        with self._lock:
+            series = self._series[self.labels(**labels)]
+            series.count += 1
+            series.total += value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[i] += 1
+                    return
+            series.bucket_counts[-1] += 1
+
+    def time(self, **labels: Any) -> "HistogramTimer":
+        """Context manager observing the block's wall time, in seconds.
+
+        Replaces hand-rolled ``perf_counter_ns`` deltas at instrumentation
+        sites; the timer exposes :attr:`HistogramTimer.elapsed_s` /
+        :attr:`HistogramTimer.elapsed_ns` after exit for callers that also
+        want the raw measurement::
+
+            with latency.time(cell=cell) as timer:
+                kernel.apply_layer(arr, layer)
+            wall_ns = timer.elapsed_ns
+        """
+        return HistogramTimer(self, labels)
 
     def quantile(self, q: float, **labels: Any) -> float:
         """Approximate ``q``-quantile of the labelled series.
@@ -210,26 +283,57 @@ class Histogram(_Instrument):
         ``_bucket`` samples, so p50/p99 printed locally match what a scraper
         would chart.  NaN if the series has no observations.
         """
-        series = self._series.get(_labels_key(labels))
-        if series is None:
-            return float("nan")
-        return quantile_from_buckets(self.buckets, series.bucket_counts, q)
+        with self._lock:
+            series = self._series.get(_labels_key(labels))
+            if series is None:
+                return float("nan")
+            return quantile_from_buckets(self.buckets, series.bucket_counts, q)
 
     def snapshot_series(self, **labels: Any) -> dict[str, Any]:
         """Count / sum / per-bucket cumulative counts of one series."""
-        series = self._series.get(_labels_key(labels))
-        if series is None:
-            return {"count": 0, "sum": 0.0, "buckets": {}}
-        return self._series_dict(series)
+        with self._lock:
+            series = self._series.get(_labels_key(labels))
+            if series is None:
+                return {"count": 0, "sum": 0.0, "buckets": {}}
+            return self._series_dict(series)
 
     def _series_dict(self, series: _HistogramSeries) -> dict[str, Any]:
-        cumulative = 0
-        buckets: dict[str, int] = {}
-        for bound, n in zip(self.buckets, series.bucket_counts):
-            cumulative += n
-            buckets[str(bound)] = cumulative
-        buckets["+Inf"] = cumulative + series.bucket_counts[-1]
-        return {"count": series.count, "sum": series.total, "buckets": buckets}
+        # under the instrument lock: a scrape never reads a torn
+        # (count, buckets) pair while another thread is mid-observe
+        with self._lock:
+            cumulative = 0
+            buckets: dict[str, int] = {}
+            for bound, n in zip(self.buckets, series.bucket_counts):
+                cumulative += n
+                buckets[str(bound)] = cumulative
+            buckets["+Inf"] = cumulative + series.bucket_counts[-1]
+            return {"count": series.count, "sum": series.total, "buckets": buckets}
+
+
+class HistogramTimer:
+    """Times a ``with`` block and observes the elapsed seconds on exit."""
+
+    __slots__ = ("_histogram", "_labels", "_start_ns", "elapsed_ns")
+
+    def __init__(self, histogram: Histogram, labels: dict[str, Any]) -> None:
+        self._histogram = histogram
+        self._labels = labels
+        self._start_ns = 0
+        #: elapsed nanoseconds, available after the block exits
+        self.elapsed_ns = 0
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_ns / 1e9
+
+    def __enter__(self) -> "HistogramTimer":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.elapsed_ns = time.perf_counter_ns() - self._start_ns
+        self._histogram.observe(self.elapsed_ns / 1e9, **self._labels)
+        return False
 
 
 class MetricsRegistry:
@@ -242,19 +346,21 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._instruments: dict[str, _Instrument] = {}
 
     def _get_or_create(self, cls: type, name: str, help: str, **kwargs: Any) -> Any:
-        existing = self._instruments.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ValueError(
-                    f"metric {name!r} already registered as {existing.kind}"
-                )
-            return existing
-        instrument = cls(name, help, **kwargs)
-        self._instruments[name] = instrument
-        return instrument
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            instrument = cls(name, help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help)
@@ -268,16 +374,23 @@ class MetricsRegistry:
         return self._get_or_create(Histogram, name, help, buckets=buckets)
 
     def __iter__(self) -> Iterator[_Instrument]:
-        return iter(self._instruments.values())
+        with self._lock:
+            return iter(list(self._instruments.values()))
 
     def __contains__(self, name: str) -> bool:
-        return name in self._instruments
+        with self._lock:
+            return name in self._instruments
 
     # -- exports --------------------------------------------------------
     def expose_text(self) -> str:
-        """Prometheus text exposition format (one block per instrument)."""
+        """Prometheus text exposition format (one block per instrument).
+
+        Safe to call from a scrape thread while instruments keep moving:
+        iteration works over locked snapshots, so a concurrent observe can
+        never tear a sample or crash the walk.
+        """
         lines: list[str] = []
-        for inst in self._instruments.values():
+        for inst in self:
             if inst.help:
                 lines.append(f"# HELP {inst.name} {inst.help}")
             lines.append(f"# TYPE {inst.name} {inst.kind}")
@@ -297,7 +410,7 @@ class MetricsRegistry:
     def snapshot(self) -> dict[str, Any]:
         """JSON-safe dict: instrument -> type, help and per-series values."""
         out: dict[str, Any] = {}
-        for inst in self._instruments.values():
+        for inst in self:
             if isinstance(inst, Histogram):
                 series = [
                     {"labels": dict(key), **inst._series_dict(s)}

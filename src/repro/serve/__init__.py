@@ -1,0 +1,50 @@
+"""Serving layer: micro-batched sort service, HTTP front-end, load generator.
+
+The arc: :mod:`repro.schedule.compiled` made single-cell sorting a batched
+kernel; this package turns that kernel into a *service* — concurrent callers
+submit single requests, :class:`SortService` coalesces them into batches
+under a latency budget, admission control sheds overload explicitly, and the
+whole pipeline is observable (``repro_serve_*`` metrics, ``kind="serve"``
+trace spans, ``GET /queues.json`` health).  :mod:`repro.serve.loadgen`
+closes the loop with open-loop arrival load generation verified against
+snake-order ground truth and gated through benchreg's ``serving`` section.
+
+See ``docs/serving.md`` for the guided tour; ``repro serve`` and
+``repro loadgen`` are the CLI entry points.
+"""
+
+from .frontend import build_sort_server
+from .loadgen import (
+    ARRIVALS,
+    MIXES,
+    LoadScenario,
+    arrival_offsets,
+    default_scenarios,
+    make_keys,
+    run_loadgen,
+    run_suite,
+)
+from .service import (
+    OCCUPANCY_BUCKETS,
+    REQUEST_TIME_BUCKETS,
+    Rejected,
+    ServiceConfig,
+    SortService,
+)
+
+__all__ = [
+    "ARRIVALS",
+    "MIXES",
+    "OCCUPANCY_BUCKETS",
+    "REQUEST_TIME_BUCKETS",
+    "LoadScenario",
+    "Rejected",
+    "ServiceConfig",
+    "SortService",
+    "arrival_offsets",
+    "build_sort_server",
+    "default_scenarios",
+    "make_keys",
+    "run_loadgen",
+    "run_suite",
+]

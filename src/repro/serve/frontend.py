@@ -1,0 +1,91 @@
+"""HTTP front-end for the sort service, mounted on the metrics server.
+
+:func:`build_sort_server` attaches the serving routes to a
+:class:`~repro.observability.httpexpo.MetricsServer`, so one port exposes
+both the service API and its telemetry:
+
+``POST /sort``
+    body ``{"cell": "path-n3-r3", "keys": [...]}`` → ``200`` with
+    ``{"cell": ..., "keys": [...sorted, snake order...]}``; ``400`` on a
+    malformed body or wrong key width; ``503`` with a machine-readable
+    ``reason`` when admission control sheds the request (backpressure is
+    explicit, never a hang);
+``GET /queues.json``
+    the per-queue health document (:meth:`SortService.queues_snapshot`);
+``GET /metrics`` / ``GET /snapshot.json`` / ``GET /healthz``
+    the usual exposition, now including the ``repro_serve_*`` instruments.
+
+HTTP requests arrive on server threads while the service lives on an
+asyncio loop; the bridge is ``asyncio.run_coroutine_threadsafe`` onto the
+loop passed by the caller (``repro serve`` hands over its running loop).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+import numpy as np
+
+from ..observability.httpexpo import MetricsServer
+from .service import Rejected, SortService
+
+__all__ = ["build_sort_server"]
+
+_JSON = "application/json"
+
+
+def _json_body(status: int, doc: dict[str, Any]) -> tuple[int, str, bytes]:
+    return status, _JSON, (json.dumps(doc, sort_keys=True) + "\n").encode()
+
+
+def build_sort_server(
+    service: SortService,
+    loop: asyncio.AbstractEventLoop,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    request_timeout: float = 30.0,
+) -> MetricsServer:
+    """A not-yet-started :class:`MetricsServer` wired to ``service``.
+
+    ``loop`` must be the event loop the service runs on; handler threads
+    submit through it and block (up to ``request_timeout``) for the batched
+    result.  The server scrapes the service's own registry and refreshes
+    schedule-cache counters on every scrape.
+    """
+    from ..observability.cachestats import publish_cache_metrics
+
+    def sort_handler(payload: bytes) -> tuple[int, str, bytes]:
+        try:
+            doc = json.loads(payload)
+            cell = str(doc["cell"])
+            keys = np.asarray(doc["keys"], dtype=np.int64)
+        except (ValueError, KeyError, TypeError) as exc:
+            return _json_body(400, {"error": f"bad request: {exc}"})
+        future = asyncio.run_coroutine_threadsafe(service.submit(cell, keys), loop)
+        try:
+            out = future.result(timeout=request_timeout)
+        except Rejected as exc:
+            return _json_body(503, {"error": str(exc), "cell": exc.cell, "reason": exc.reason})
+        except ValueError as exc:  # wrong width / unknown cell
+            return _json_body(400, {"error": str(exc)})
+        except TimeoutError:
+            future.cancel()
+            return _json_body(504, {"error": "sort request timed out", "cell": cell})
+        return _json_body(200, {"cell": cell, "keys": out.tolist()})
+
+    def queues_handler(_payload: bytes) -> tuple[int, str, bytes]:
+        return _json_body(200, service.queues_snapshot())
+
+    return MetricsServer(
+        service.registry,
+        host=host,
+        port=port,
+        collectors=(lambda: publish_cache_metrics(service.registry),),
+        snapshot_extra=lambda: {"queues": service.queues_snapshot()},
+        handlers={
+            ("POST", "/sort"): sort_handler,
+            ("GET", "/queues.json"): queues_handler,
+        },
+    )

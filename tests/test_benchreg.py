@@ -19,6 +19,7 @@ from repro.observability.benchreg import (
     DEFAULT_MATRIX,
     DEFAULT_THRESHOLDS,
     SCHEMA_VERSION,
+    SERVING_STRUCTURAL_COUNTS,
     MetricDelta,
     WorkloadCell,
     bench_path,
@@ -60,10 +61,10 @@ class TestWorkloadMatrix:
             run_cell(WorkloadCell("path", 3, 2, "quantum"))
 
     def test_schema_version_pinned(self):
-        # v4: lattice cells run with a batch also carry a ``profile`` block
-        # (p50/p99 compiled-run latency, keys/s, occupancy summary).
+        # v5: documents run with --serving carry a top-level ``serving``
+        # section whose structural counts are gated at exact equality.
         # Bump this pin deliberately alongside BENCH_seed.json regeneration.
-        assert SCHEMA_VERSION == 4
+        assert SCHEMA_VERSION == 5
 
     def test_document_schema(self, matrix_doc):
         assert matrix_doc["schema_version"] == SCHEMA_VERSION
@@ -310,7 +311,7 @@ class TestBenchCli:
         doc = load_document(str(out))
         assert doc["label"] == "t" and len(doc["cells"]) == len(DEFAULT_MATRIX)
         stdout = capsys.readouterr().out
-        assert "schema v4" in stdout and "conformance=ok" in stdout
+        assert "schema v5" in stdout and "conformance=ok" in stdout
 
     def test_bench_compare_same_file_ok(self, tmp_path, capsys, matrix_doc):
         path = write_document(matrix_doc, str(tmp_path / "BENCH_t.json"))
@@ -380,3 +381,121 @@ class TestCommittedBaseline:
         assert compiled, "seed must carry compiled-kernel measurements"
         assert all(c["matches"] for c in compiled)
         assert max(c["speedup"] for c in compiled) >= 5.0
+
+
+# ----------------------------------------------------------------------
+# schema v5: the serving section
+# ----------------------------------------------------------------------
+
+def _serving_scenario(key="path-n3-r3/uniform/poisson", **counts_override):
+    """A fabricated scenario result with healthy defaults."""
+    counts = {"offered": 10, "completed": 10, "rejected": 0, "mismatches": 0, "errors": 0}
+    counts.update(counts_override)
+    cell, mix, arrivals = key.split("/")
+    return {
+        "scenario": {
+            "key": key, "cell": cell, "mix": mix, "arrivals": arrivals,
+            "rate": 100.0, "requests": 10, "seed": 0,
+            "burst_factor": 8.0, "burst_len": 16,
+        },
+        "counts": counts,
+        "latency_ms": {"p50": 1.0, "p90": 1.5, "p99": 2.0, "max": 2.5, "mean": 1.1},
+        "duration_s": 0.1,
+        "offered_rps": 100.0,
+        "completed_rps": 100.0,
+        "service": {},
+        "config": None,
+    }
+
+
+def _doc_with_serving(scenarios, label="serving-test"):
+    """A minimal comparable document carrying only a serving section."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "label": label,
+        "created": 0.0,
+        "seed": 0,
+        "cells": [],
+        "serving": {"config": {}, "scenarios": scenarios},
+    }
+
+
+class TestServingComparison:
+    def test_structural_counts_are_exported(self):
+        assert SERVING_STRUCTURAL_COUNTS == (
+            "offered", "completed", "rejected", "mismatches", "errors"
+        )
+
+    def test_identical_serving_sections_compare_ok(self):
+        doc = _doc_with_serving([_serving_scenario()])
+        result = compare_documents(doc, copy.deepcopy(doc))
+        assert result.ok, result.render()
+        metrics = {d.metric for d in result.deltas}
+        assert "serving.latency_ms.p50" in metrics
+        assert "serving.completed_rps" in metrics
+
+    def test_candidate_without_serving_is_a_note_not_an_error(self):
+        baseline = _doc_with_serving([_serving_scenario()])
+        candidate = copy.deepcopy(baseline)
+        candidate.pop("serving")
+        result = compare_documents(baseline, candidate)
+        assert result.ok
+        assert any("without --serving" in note for note in result.notes)
+        assert "note:" in result.render()
+
+    def test_structural_count_drift_is_an_error(self):
+        baseline = _doc_with_serving([_serving_scenario()])
+        candidate = _doc_with_serving([_serving_scenario(completed=9, errors=1)])
+        result = compare_documents(baseline, candidate)
+        assert not result.ok
+        assert any("zero tolerance" in err for err in result.errors)
+
+    def test_candidate_invariants_hold_without_any_baseline_serving(self):
+        """Mismatches / errors / shed requests fail even on a fresh baseline."""
+        baseline = _doc_with_serving([_serving_scenario()])
+        baseline.pop("serving")
+        candidate = _doc_with_serving([_serving_scenario(mismatches=2)])
+        result = compare_documents(baseline, candidate)
+        assert not result.ok
+        assert any("ground truth" in err for err in result.errors)
+
+        candidate = _doc_with_serving([_serving_scenario(rejected=3)])
+        result = compare_documents(baseline, candidate)
+        assert not result.ok
+        assert any("shed" in err for err in result.errors)
+
+    def test_missing_and_new_scenarios(self):
+        s1 = _serving_scenario()
+        s2 = _serving_scenario(key="k2-n2-r4/duplicates/poisson")
+        result = compare_documents(
+            _doc_with_serving([s1, s2]), _doc_with_serving([s1])
+        )
+        assert not result.ok
+        assert any("missing from candidate" in err for err in result.errors)
+        result = compare_documents(
+            _doc_with_serving([s1]), _doc_with_serving([s1, s2])
+        )
+        assert result.ok
+        assert "serving:k2-n2-r4/duplicates/poisson" in result.new_cells
+
+    def test_latency_drift_stays_informational(self):
+        baseline = _doc_with_serving([_serving_scenario()])
+        candidate = copy.deepcopy(baseline)
+        candidate["serving"]["scenarios"][0]["latency_ms"]["p99"] = 50.0
+        candidate["serving"]["scenarios"][0]["completed_rps"] = 1.0
+        result = compare_documents(baseline, candidate)
+        assert result.ok, result.render()
+
+    def test_run_matrix_serving_flag(self):
+        """run_matrix(serving=True) lands a well-formed section (tiny matrix)."""
+        doc = run_matrix((DEFAULT_MATRIX[0],), seed=0, label="t", serving=True)
+        serving = doc["serving"]
+        assert serving["config"]["max_batch"] == 32
+        assert len(serving["scenarios"]) >= 3
+        for scenario in serving["scenarios"]:
+            counts = scenario["counts"]
+            assert counts["completed"] == counts["offered"]
+            assert counts["rejected"] == counts["mismatches"] == counts["errors"] == 0
+        json.dumps(doc)  # JSON-safe as-is
+        result = compare_documents(doc, copy.deepcopy(doc))
+        assert result.ok, result.render()

@@ -363,3 +363,96 @@ class TestMetricsEndpoint:
             assert server.port > 0
             text = urllib.request.urlopen(server.url("/metrics"), timeout=10).read().decode()
         assert "x_total 3" in text
+
+
+class TestHttpRoutesAndShutdown:
+    """Satellite: proper 404/405, extra handlers, graceful shutdown."""
+
+    def test_404_names_the_known_endpoints(self):
+        registry = MetricsRegistry()
+        with MetricsServer(registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url("/definitely-not-here"), timeout=10)
+            assert err.value.code == 404
+            assert err.value.headers["Content-Type"].startswith("text/plain")
+            body = err.value.read().decode()
+            for path in ("/metrics", "/healthz", "/snapshot.json"):
+                assert path in body
+
+    def test_wrong_method_is_405_with_allow_header(self):
+        registry = MetricsRegistry()
+        with MetricsServer(registry) as server:
+            request = urllib.request.Request(
+                server.url("/metrics"), data=b"{}", method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=10)
+            assert err.value.code == 405
+            assert err.value.headers["Allow"] == "GET"
+
+    def test_custom_handlers_mount_and_appear_in_404(self):
+        registry = MetricsRegistry()
+
+        def echo(payload: bytes):
+            return 200, "application/json", json.dumps({"len": len(payload)}).encode()
+
+        with MetricsServer(registry, handlers={("POST", "/echo"): echo}) as server:
+            request = urllib.request.Request(server.url("/echo"), data=b"12345", method="POST")
+            with urllib.request.urlopen(request, timeout=10) as resp:
+                assert json.loads(resp.read()) == {"len": 5}
+            # GET on a POST-only route: 405 advertising POST
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url("/echo"), timeout=10)
+            assert err.value.code == 405
+            assert err.value.headers["Allow"] == "POST"
+            # the 404 body advertises the mounted route
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url("/nope"), timeout=10)
+            assert "/echo" in err.value.read().decode()
+
+    def test_handler_exception_is_a_500_not_a_dead_thread(self):
+        registry = MetricsRegistry()
+
+        def broken(payload: bytes):
+            raise RuntimeError("handler bug")
+
+        with MetricsServer(registry, handlers={("GET", "/broken"): broken}) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url("/broken"), timeout=10)
+            assert err.value.code == 500
+            # the serving thread survived: /healthz still answers
+            with urllib.request.urlopen(server.url("/healthz"), timeout=10) as resp:
+                assert resp.read() == b"ok\n"
+
+    def test_run_blocking_exits_on_request_shutdown(self):
+        """The graceful-shutdown path: serve, request shutdown from another
+        thread, and come back with the socket closed and thread joined."""
+        import socket
+        import threading
+
+        registry = MetricsRegistry()
+        registry.counter("x_total", "test").inc(1)
+        server = MetricsServer(registry)
+        port = server.port
+        scraped: list[str] = []
+
+        def shut_down_after_scrape():
+            scraped.append(
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics", timeout=10
+                ).read().decode()
+            )
+            server.request_shutdown()
+
+        trigger = threading.Timer(0.05, shut_down_after_scrape)
+        trigger.start()
+        try:
+            # off-main-thread signal installation is skipped automatically,
+            # so this is safe to exercise directly in-process
+            server.run_blocking(install_signal_handlers=False)
+        finally:
+            trigger.cancel()
+        assert scraped and "x_total 1" in scraped[0]
+        # listening socket is really closed: a fresh connect is refused
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=1.0).close()

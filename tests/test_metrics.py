@@ -225,3 +225,152 @@ class TestMetricsSubscriber:
             name, value = line.rsplit(" ", 1)
             float(value)
             assert name
+
+
+class TestInstrumentHelpers:
+    """Histogram.time() / Counter.count_exceptions() / Gauge.set_max()."""
+
+    def test_histogram_time_observes_and_exposes_elapsed(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t_seconds", "test", buckets=(0.5, 1.0))
+        with hist.time(cell="a") as timer:
+            pass
+        assert timer.elapsed_ns > 0
+        assert timer.elapsed_s == pytest.approx(timer.elapsed_ns / 1e9)
+        series = hist.snapshot_series(cell="a")
+        assert series["count"] == 1
+        assert series["sum"] == pytest.approx(timer.elapsed_s)
+
+    def test_histogram_time_observes_even_when_the_body_raises(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("t_seconds", "test", buckets=(0.5,))
+        with pytest.raises(RuntimeError):
+            with hist.time():
+                raise RuntimeError("boom")
+        assert hist.snapshot_series()["count"] == 1
+
+    def test_counter_count_exceptions_counts_only_failures(self):
+        registry = MetricsRegistry()
+        errors = registry.counter("errs_total", "test")
+        with errors.count_exceptions(kind="x"):
+            pass
+        assert errors.value(kind="x") == 0
+        with pytest.raises(ValueError):
+            with errors.count_exceptions(kind="x"):
+                raise ValueError("boom")  # must re-raise, not swallow
+        assert errors.value(kind="x") == 1
+
+    def test_gauge_set_max_is_a_high_water_mark(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "test")
+        gauge.set_max(3, q="a")
+        gauge.set_max(7, q="a")
+        gauge.set_max(5, q="a")
+        assert gauge.value(q="a") == 7
+
+
+class TestThreadSafety:
+    """Satellite: concurrent scrapes during active instrument traffic."""
+
+    def test_concurrent_counter_increments_do_not_drop(self):
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "test")
+
+        def work():
+            for _ in range(2000):
+                counter.inc(worker="w")
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value(worker="w") == 16000
+
+    def test_scrapes_stay_consistent_during_active_kernel_runs(self, rng, schedule_caches):
+        """expose_text()/snapshot() must never crash or emit torn lines while
+        profiled kernel runs are feeding the same registry from other
+        threads (the live /metrics-under-load regime)."""
+        import threading
+
+        from repro.observability.kernelprof import KernelProfiler
+        from repro.schedule import compile_schedule
+        from repro.staticcheck import emit_schedule
+        from repro.graphs import path_graph
+
+        registry = MetricsRegistry()
+        profiler = KernelProfiler(registry=registry)
+        kernel = compile_schedule(emit_schedule(path_graph(3), 3, backend="lattice"))
+        keys = rng.integers(0, 2**31, size=(16, kernel.num_nodes))
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def runner():
+            try:
+                while not stop.is_set():
+                    profiler.run(kernel, keys)
+            except BaseException as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        threads = [threading.Thread(target=runner) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(50):
+                text = registry.expose_text()
+                for line in text.splitlines():
+                    if not line.startswith("#"):
+                        float(line.rsplit(" ", 1)[1])  # every sample parses
+                json.dumps(registry.snapshot())  # snapshot stays JSON-safe
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=10.0)
+        assert not failures
+
+    def test_publish_cache_metrics_is_exact_under_contention(self, schedule_caches):
+        """Concurrent delta-clamped publishes must not double-count: after
+        the dust settles the mirrored counters equal the caches' own."""
+        import threading
+
+        from repro.observability.cachestats import all_cache_stats, publish_cache_metrics
+        from repro.schedule import compile_schedule
+        from repro.staticcheck import emit_schedule
+        from repro.graphs import k2, path_graph
+
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(6)
+        failures: list[BaseException] = []
+
+        def scraper():
+            try:
+                barrier.wait(timeout=10.0)
+                for _ in range(100):
+                    publish_cache_metrics(registry)
+            except BaseException as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        def compiler():
+            try:
+                barrier.wait(timeout=10.0)
+                for r in (2, 3):
+                    compile_schedule(emit_schedule(path_graph(3), r, backend="lattice"))
+                    compile_schedule(emit_schedule(k2(), r + 2, backend="lattice"))
+            except BaseException as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        threads = [threading.Thread(target=scraper) for _ in range(4)]
+        threads += [threading.Thread(target=compiler) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not failures
+        publish_cache_metrics(registry)  # final settle
+        hits = registry.counter("repro_schedule_cache_hits_total", "")
+        misses = registry.counter("repro_schedule_cache_misses_total", "")
+        for name, snap in all_cache_stats().items():
+            assert hits.value(cache=name) == snap["hits"], name
+            assert misses.value(cache=name) == snap["misses"], name

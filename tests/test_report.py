@@ -38,13 +38,13 @@ class TestGenerateReport:
         b = generate_report(seed=2, max_n_lemma1=2, max_r_hypercube=3)
 
         # round counts are input-independent (oblivious algorithm); only the
-        # random factor-graph row and the wall-clock kernel-profile section
-        # may differ between runs
+        # random factor-graph row and the wall-clock sections (kernel profile,
+        # serving latency/batching) may differ between runs
         def keep(text: str) -> list[str]:
             lines, skip = [], False
             for ln in text.splitlines():
                 if ln.startswith("## "):
-                    skip = ln.startswith("## Compiled kernels")
+                    skip = ln.startswith(("## Compiled kernels", "## Serving observatory"))
                 if not skip and "random(" not in ln:
                     lines.append(ln)
             return lines
