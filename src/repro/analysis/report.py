@@ -361,15 +361,22 @@ def _section_serving(seed: int) -> str:
     rows = []
     all_ok = True
     for scenario in default_scenarios(seed):
-        doc = run_loadgen(scenario, config=config)
+        doc = run_loadgen(scenario, config=config, slo=True)
         counts = doc["counts"]
         lat = doc["latency_ms"] or {}
         queue = next(iter((doc["service"] or {}).values()), {})
+        srv = doc.get("server_latency_ms") or {}
+        slo = doc.get("slo") or {}
+        pages = int(slo.get("page_alerts", 0))
+        consistent = srv.get("consistent")
+        server_p99 = (srv.get("request") or {}).get("p99")
         ok = (
             counts["completed"] == counts["offered"]
             and not counts["rejected"]
             and not counts["mismatches"]
             and not counts["errors"]
+            and not pages
+            and consistent is not False
         )
         all_ok &= ok
         rows.append(
@@ -383,18 +390,23 @@ def _section_serving(seed: int) -> str:
                 queue.get("peak_depth", 0),
                 f"{lat.get('p50', float('nan')):.2f}",
                 f"{lat.get('p99', float('nan')):.2f}",
+                "n/a" if server_p99 is None else f"{server_p99:.2f}",
+                f"{slo.get('max_severity_seen', 'n/a')}/{pages}p",
                 "ok" if ok else "FAILED",
             ]
         )
     table = format_markdown_table(
         ["scenario", "completed", "shed", "mismatch", "batches", "mean occ",
-         "peak depth", "p50 ms", "p99 ms", "verdict"],
+         "peak depth", "p50 ms", "p99 ms", "server p99", "slo", "verdict"],
         rows,
     )
     verdict = (
         "Every response matched the snake-order ground truth bit for bit, "
         "with zero requests shed — the suite runs below the compiled "
-        "kernels' capacity, so any rejection would mean a service regression."
+        "kernels' capacity, so any rejection would mean a service regression. "
+        "The flight recorder agreed: no SLO burned error budget at page rate, "
+        "and the service's own latency histograms stayed at or below the "
+        "client view (bucketed into the same boundaries)."
         if all_ok
         else "SERVING FAILURES FOUND."
     )
@@ -405,7 +417,10 @@ def _section_serving(seed: int) -> str:
         "Poisson or burst offsets regardless of completions, the service "
         "coalesces them into compiled-kernel batches under a 1 ms latency "
         "budget, and admission control bounds every queue.  The health "
-        "columns come from the service's own `/queues.json` telemetry.\n\n"
+        "columns come from the service's own `/queues.json` telemetry; the "
+        "`server p99` and `slo` columns come from the flight recorder "
+        "(`docs/slo.md`) sampling the run — `slo` is worst severity seen "
+        "over the default serving SLOs plus pages fired.\n\n"
         + table
         + f"\n\n{verdict}\n"
     )

@@ -22,11 +22,17 @@ Reproduces the paper's evaluation from the shell:
 * ``metrics`` — serve the live Prometheus endpoint (``/metrics``,
   ``/healthz``, ``/snapshot.json``) warmed with profiled kernel runs;
 * ``serve`` — the micro-batched sort service: ``POST /sort`` +
-  ``GET /queues.json`` + live ``/metrics`` on one port, graceful shutdown
-  on SIGINT/SIGTERM;
+  ``GET /queues.json`` + live ``/metrics`` (plus ``/readyz`` readiness) on
+  one port, graceful shutdown on SIGINT/SIGTERM; ``--slo`` adds the flight
+  recorder (tsdb sampler, burn-rate alerts, ``/dashboard`` +
+  ``/alerts.json`` + ``/tsdb.json``);
 * ``loadgen`` — open-loop load generation (Poisson/burst arrivals, four
   key mixes) against an in-process service or a live ``--target`` URL,
-  every response verified against snake-order ground truth;
+  every response verified against snake-order ground truth; ``--slo``
+  evaluates burn-rate alerts over the run;
+* ``dash`` — the flight-recorder dashboard (terminal sparklines + SLO
+  badges + queue health), from a live ``--target`` or a self-contained
+  demo run, with ``--html`` for the standalone page;
 * ``worked-example`` — the Figs. 12-15 walkthrough (delegates to the
   example script's logic);
 * ``gray`` — print Gray/snake orders for small products (Figs. 3-5).
@@ -346,12 +352,17 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     for scenario in doc.get("serving", {}).get("scenarios", []):
         s, c = scenario["scenario"], scenario["counts"]
         lat = scenario.get("latency_ms") or {}
+        slo = scenario.get("slo") or {}
+        pages = int(slo.get("page_alerts", 0)) if isinstance(slo, dict) else 0
+        slo_note = (
+            f"  slo={slo.get('max_severity_seen', 'ok')}({pages} pages)" if slo else ""
+        )
         print(
             f"  serving {s['key']:<32} completed={c['completed']}/{c['offered']}  "
             f"rejected={c['rejected']}  mismatches={c['mismatches']}  "
-            f"p99={lat.get('p99', float('nan')):.2f}ms"
+            f"p99={lat.get('p99', float('nan')):.2f}ms{slo_note}"
         )
-        if c["rejected"] or c["mismatches"] or c["errors"]:
+        if c["rejected"] or c["mismatches"] or c["errors"] or pages:
             bad.append(f"serving:{s['key']}")
     if bad:
         print(f"CONFORMANCE FAILURES: {', '.join(bad)}", file=sys.stderr)
@@ -556,16 +567,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             except ValueError as exc:
                 print(str(exc), file=sys.stderr)
                 return 2
+            store = None
+            extra_handlers = None
+            if args.slo:
+                from .observability.dashboard import flight_recorder_routes
+                from .observability.slo import SLOEvaluator, default_serve_slos
+                from .observability.tsdb import TimeSeriesStore
+
+                store = TimeSeriesStore(service.registry, interval_s=args.sample_interval)
+                evaluator = SLOEvaluator(
+                    store, list(default_serve_slos(window_scale=args.slo_scale))
+                )
+                store.on_tick.append(lambda now: evaluator.evaluate(now))
+                extra_handlers = flight_recorder_routes(
+                    store, evaluator, queues_fn=service.queues_snapshot
+                )
             try:
-                server = build_sort_server(service, loop, host=args.host, port=args.port)
+                server = build_sort_server(
+                    service, loop, host=args.host, port=args.port,
+                    extra_handlers=extra_handlers,
+                )
             except OSError as exc:
                 print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
                 return 1
             server.start()
+            if store is not None:
+                store.start()
+            flight = (
+                f", dashboard {server.url('/dashboard')}" if args.slo else ""
+            )
             print(
                 f"sort service on {server.url('/sort')} (POST) — queues "
                 f"{', '.join(service.cells)}; health {server.url('/queues.json')}, "
-                f"metrics {server.url('/metrics')} — Ctrl-C to stop",
+                f"metrics {server.url('/metrics')}{flight} — Ctrl-C to stop",
                 file=sys.stderr,
             )
             stop = asyncio.Event()
@@ -580,6 +614,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     "shutting down: draining queues, closing listening socket",
                     file=sys.stderr,
                 )
+                if store is not None:
+                    store.stop()
                 server.stop()
         return 0
 
@@ -604,6 +640,37 @@ def _render_loadgen(doc: dict) -> str:
         f"  duration={doc['duration_s']:.2f}s offered_rps={doc['offered_rps']:.0f} "
         f"completed_rps={doc['completed_rps']:.0f}"
     )
+    def ms(value: object) -> str:
+        return "n/a" if not isinstance(value, (int, float)) else f"{value:.2f}ms"
+
+    srv = doc.get("server_latency_ms")
+    if srv is not None:
+        req, wait = srv.get("request", {}), srv.get("queue_wait", {})
+        client = srv.get("client_bucketed", {})
+        verdict = {True: "yes", False: "VIOLATED", None: "n/a"}[srv.get("consistent")]
+        lines.append(
+            f"  server[{srv.get('cell')}] request p50={ms(req.get('p50'))} "
+            f"p99={ms(req.get('p99'))} queue-wait p50={ms(wait.get('p50'))} "
+            f"p99={ms(wait.get('p99'))}"
+        )
+        lines.append(
+            f"  client(bucketed) p50={ms(client.get('p50'))} p99={ms(client.get('p99'))} "
+            f"— server p99 <= client p99: {verdict}"
+        )
+    slo = doc.get("slo")
+    if slo is not None:
+        lines.append(
+            f"  slo: severity={slo.get('current_severity', '?')} "
+            f"pages_fired={slo.get('page_alerts', 0)} "
+            f"worst_seen={slo.get('max_severity_seen', '?')}"
+        )
+        for alert in slo.get("alerts", ()):
+            if alert.get("severity", "ok") != "ok" or alert.get("events"):
+                name = alert.get("spec", {}).get("name", "?")
+                lines.append(
+                    f"    {name}: {alert.get('severity')} "
+                    f"({len(alert.get('events', ()))} transitions)"
+                )
     for key, q in (doc.get("service") or {}).items():
         p99 = q.get("p99_ms")
         lines.append(
@@ -636,7 +703,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             deadline_ms=args.deadline_ms,
             flush_penalty_s=args.flush_penalty,
         )
-        doc = run_loadgen(scenario, config=config, target=args.target)
+        doc = run_loadgen(scenario, config=config, target=args.target, slo=args.slo)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -655,6 +722,76 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from .observability.dashboard import (
+        dashboard_html,
+        fetch_dashboard_inputs,
+        render_dashboard,
+    )
+
+    def emit(store, alerts, queues) -> None:  # noqa: ANN001 - shapes documented in dashboard.py
+        print(render_dashboard(store, alerts=alerts, queues=queues, window_s=args.window))
+        if args.html:
+            page = dashboard_html(
+                store, alerts=alerts, queues=queues,
+                refresh_s=None, window_s=args.window,
+            )
+            with open(args.html, "w") as fh:
+                fh.write(page)
+            print(f"wrote {args.html}", file=sys.stderr)
+
+    if args.target:
+        import time
+
+        while True:
+            try:
+                store, alerts, queues = fetch_dashboard_inputs(args.target)
+            except (OSError, ValueError) as exc:
+                print(f"cannot fetch {args.target}: {exc}", file=sys.stderr)
+                return 1
+            emit(store, alerts, queues)
+            if args.watch is None:
+                return 0
+            try:
+                time.sleep(args.watch)
+            except KeyboardInterrupt:  # pragma: no cover - interactive exit
+                return 0
+
+    # demo mode: drive one in-process scenario with the flight recorder
+    # attached, then render what it captured (--flush-penalty turns it into
+    # the overload drill that pages the availability SLO)
+    from .observability import MetricsRegistry
+    from .observability.slo import SLOEvaluator, default_serve_slos
+    from .observability.tsdb import TimeSeriesStore
+    from .serve import LoadScenario, ServiceConfig, run_loadgen
+
+    try:
+        scenario = LoadScenario(
+            cell=args.cell, arrivals=args.arrivals,
+            rate=args.rate, requests=args.requests, seed=args.seed,
+        )
+        config = ServiceConfig(
+            max_queue_depth=args.max_queue_depth, flush_penalty_s=args.flush_penalty
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    est = args.requests / args.rate + 0.5
+    interval = max(min(0.02, est / 40.0), 0.005)
+    capacity = max(int(est / interval) + 128, 256)
+    registry = MetricsRegistry()
+    store = TimeSeriesStore(registry, interval_s=interval, capacity=capacity)
+    evaluator = SLOEvaluator(
+        store, list(default_serve_slos(window_scale=est / 60.0))
+    )
+    doc = run_loadgen(
+        scenario, config=config, registry=registry,
+        slo=True, tsdb=store, evaluator=evaluator,
+    )
+    emit(store, doc.get("slo"), doc.get("service"))
     return 0
 
 
@@ -770,8 +907,9 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument(
         "--serving",
         action="store_true",
-        help="also run the canonical serving load-generation suite (schema v5 "
-        "'serving' section; structural counts gated at zero tolerance)",
+        help="also run the canonical serving load-generation suite under the "
+        "flight recorder (schema v6 'serving' section; structural counts gated "
+        "at zero tolerance, page-severity SLO alerts fail the run)",
     )
     b.set_defaults(func=_cmd_bench_run)
 
@@ -924,6 +1062,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="admission bound per queue; excess load is shed with 503")
     p.add_argument("--deadline-ms", type=float, default=None,
                    help="latency SLO; completions past it count deadline misses")
+    p.add_argument("--slo", action="store_true",
+                   help="install the flight recorder: background tsdb sampler + "
+                   "default serving SLOs with burn-rate alerting, mounting "
+                   "/dashboard, /alerts.json and /tsdb.json on the same port")
+    p.add_argument("--slo-scale", type=float, default=1.0, metavar="FACTOR",
+                   help="scale the burn-rate alert windows (1.0 = the SRE-book "
+                   "5m/1h defaults; smaller reacts faster, for drills)")
+    p.add_argument("--sample-interval", type=float, default=0.25, metavar="SECONDS",
+                   help="flight-recorder sampling interval")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -955,10 +1102,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flush-penalty", type=float, default=0.0, metavar="SECONDS",
                    help="in-process service: artificial per-flush service time "
                    "(overload/backpressure drills)")
+    p.add_argument("--slo", action="store_true",
+                   help="evaluate SLO burn rates during the run (in-process: a "
+                   "tsdb sampler + the default serving SLOs with windows scaled "
+                   "to the run; --target: fetch the server's /alerts.json); the "
+                   "alert snapshot lands in the document's 'slo' section")
     p.add_argument("--json", action="store_true", help="machine-readable result document")
     p.add_argument("--out", type=str, default=None, help="write to a file instead of stdout")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_loadgen)
+
+    p = sub.add_parser(
+        "dash",
+        help="flight-recorder dashboard: sparkline panels, SLO alert badges and "
+        "per-queue health (live --target, or a self-contained demo run)",
+    )
+    p.add_argument("--target", type=str, default=None, metavar="URL",
+                   help="render a live server's /tsdb.json + /alerts.json + "
+                   "/queues.json (a 'repro serve --slo' endpoint)")
+    p.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                   help="with --target: re-fetch and re-render every SECONDS "
+                   "(Ctrl-C to stop)")
+    p.add_argument("--html", type=str, default=None, metavar="FILE",
+                   help="also write the standalone HTML dashboard")
+    p.add_argument("--window", type=float, default=None, metavar="SECONDS",
+                   help="trailing window for the panels (default: everything recorded)")
+    p.add_argument("--cell", type=str, default="path-n3-r3", help="demo mode: cell to load")
+    p.add_argument("--arrivals", choices=("poisson", "burst"), default="burst",
+                   help="demo mode: arrival schedule")
+    p.add_argument("--rate", type=float, default=2000.0, help="demo mode: offered rate")
+    p.add_argument("--requests", type=int, default=400, help="demo mode: total requests")
+    p.add_argument("--max-queue-depth", type=int, default=512,
+                   help="demo mode: admission bound")
+    p.add_argument("--flush-penalty", type=float, default=0.0, metavar="SECONDS",
+                   help="demo mode: per-flush service-time penalty — raise it to "
+                   "watch the availability SLO page and resolve")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_dash)
 
     p = sub.add_parser("gray", help="print Gray/snake orders (Figs. 3-5)")
     p.add_argument("--n", type=int, default=3)

@@ -23,9 +23,22 @@ Typical use::
 Passing ``tracer=None`` (the default everywhere) routes through the shared
 :data:`~repro.observability.tracer.NULL_TRACER`, whose spans are one
 preallocated no-op object — untraced runs pay essentially nothing.
+
+On top of the metrics layer sits the *flight recorder* (``docs/slo.md``):
+:class:`~repro.observability.tsdb.TimeSeriesStore` samples every registry
+series into ring buffers, :class:`~repro.observability.slo.SLOEvaluator`
+turns the samples into multi-window burn-rate alerts, and
+:mod:`~repro.observability.dashboard` renders both as a terminal or HTML
+dashboard (``repro dash`` / ``repro serve --slo``).
 """
 
 from .cachestats import CacheStats, all_cache_stats, publish_cache_metrics
+from .dashboard import (
+    dashboard_html,
+    fetch_dashboard_inputs,
+    flight_recorder_routes,
+    render_dashboard,
+)
 from .critical_path import (
     ConformanceReport,
     MergeLevelCheck,
@@ -71,7 +84,15 @@ from .metrics import (
     MetricsSubscriber,
     quantile_from_buckets,
 )
+from .slo import (
+    SEVERITIES,
+    BurnPolicy,
+    SLOEvaluator,
+    SLOSpec,
+    default_serve_slos,
+)
 from .timeline import MachineStep, MachineTimeline
+from .tsdb import TimeSeriesStore
 from .topology import CongestionIndex, LinkObservatory
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer, coerce_tracer, point_emitter
 
@@ -112,6 +133,16 @@ __all__ = [
     "render_profile",
     "MetricsServer",
     "build_metrics_server",
+    "TimeSeriesStore",
+    "SLOSpec",
+    "SLOEvaluator",
+    "BurnPolicy",
+    "SEVERITIES",
+    "default_serve_slos",
+    "render_dashboard",
+    "dashboard_html",
+    "flight_recorder_routes",
+    "fetch_dashboard_inputs",
     "ConformanceReport",
     "MergeLevelCheck",
     "PhaseBreakdown",

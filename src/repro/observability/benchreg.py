@@ -17,11 +17,15 @@ every cell is one full traced sort — and snapshots, per cell:
   :class:`~repro.observability.kernelprof.KernelProfiler` — layer/op counts
   structural, the rest informational,
 * wall time (informational; never a pass/fail signal by default), and
-* with ``--serving`` (schema v5) a top-level ``serving`` section: the
+* with ``--serving`` (schema v6) a top-level ``serving`` section: the
   canonical :mod:`repro.serve` load-generation suite — per scenario the
   structural counts (offered / completed / rejected / mismatches / errors)
   are compared for exact equality, while latency percentiles and
-  throughput stay informational.
+  throughput stay informational; each scenario also carries the flight
+  recorder's ``slo`` alert snapshot (see :mod:`repro.observability.slo`),
+  and *any* page-severity alert during these deliberately-below-capacity
+  runs fails the candidate even without a baseline (burn rates themselves
+  stay informational).
 
 The snapshot is written as a schema-versioned ``BENCH_<label>.json`` at the
 repo root, so every PR leaves a comparable perf record in git history.
@@ -74,8 +78,12 @@ __all__ = [
 #: v5: documents run with ``--serving`` carry a top-level ``serving``
 #: section — :mod:`repro.serve` load-generation scenarios whose structural
 #: counts (offered / completed / rejected / mismatches / errors) are gated
-#: at zero tolerance while latency and throughput stay informational)
-SCHEMA_VERSION = 5
+#: at zero tolerance while latency and throughput stay informational;
+#: v6: serving scenarios run under the flight recorder — each carries an
+#: ``slo`` alert snapshot and a ``server_latency_ms`` server-vs-client
+#: section, and a page-severity alert during the canonical (below-capacity)
+#: suite fails the candidate outright, baseline or not)
+SCHEMA_VERSION = 6
 
 #: profiled runs behind each ``profile`` block's percentiles
 PROFILE_RUNS = 9
@@ -357,19 +365,24 @@ def _traffic_record(sorter, keys) -> tuple[dict[str, Any], dict[str, Any]]:
 
 
 def _serving_record(seed: int = 0) -> dict[str, Any]:
-    """Run the canonical :mod:`repro.serve` load-generation suite (v5).
+    """Run the canonical :mod:`repro.serve` load-generation suite (v6).
 
     Every scenario drives an in-process :class:`~repro.serve.SortService`
     with open-loop arrivals well below the compiled kernels' capacity, so a
     healthy build completes every request with zero rejections and zero
     ground-truth mismatches — which is exactly what the comparison gates on.
+    Each run carries the flight recorder (``slo=True``): the burn-rate alert
+    snapshot rides along, and :func:`_compare_serving` treats any
+    page-severity alert during these clean runs as a candidate error.
     """
     from ..serve import ServiceConfig, default_scenarios, run_loadgen
 
     config = ServiceConfig(max_batch=32, max_delay_ms=1.0, max_queue_depth=1024)
     return {
         "config": config.to_json(),
-        "scenarios": [run_loadgen(s, config=config) for s in default_scenarios(seed)],
+        "scenarios": [
+            run_loadgen(s, config=config, slo=True) for s in default_scenarios(seed)
+        ],
     }
 
 
@@ -486,7 +499,7 @@ DEFAULT_THRESHOLDS: dict[str, float | None] = {
     "profile.keys_per_s": None,
     "profile.mean_occupancy": None,
     "profile.max_occupancy": None,
-    # serving scenarios (v5): structural counts are compared for *exact*
+    # serving scenarios (v5+): structural counts are compared for *exact*
     # equality in compare_documents (zero tolerance, handled outside the
     # threshold machinery); everything wall-clock stays informational
     "serving.duration_s": None,
@@ -497,6 +510,14 @@ DEFAULT_THRESHOLDS: dict[str, float | None] = {
     "serving.latency_ms.p99": None,
     "serving.latency_ms.max": None,
     "serving.latency_ms.mean": None,
+    # v6: server-side histogram percentiles (and the client's bucketed view
+    # lives under server_latency_ms.client_bucketed in the document, not
+    # here); SLO burn rates are gated structurally — a page-severity alert
+    # during the canonical suite is a hard error, never a threshold
+    "serving.server_request_ms.p50": None,
+    "serving.server_request_ms.p99": None,
+    "serving.server_queue_wait_ms.p50": None,
+    "serving.server_queue_wait_ms.p99": None,
 }
 
 #: structural per-scenario counts gated at exact equality between snapshots
@@ -681,6 +702,11 @@ def _serving_scalars(scenario_result: dict[str, Any]) -> dict[str, float]:
         value = scenario_result.get(key)
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             out[f"serving.{key}"] = float(value)
+    srv = scenario_result.get("server_latency_ms") or {}
+    for section in ("request", "queue_wait"):
+        for quantile, value in (srv.get(section) or {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[f"serving.server_{section}_ms.{quantile}"] = float(value)
     return out
 
 
@@ -690,15 +716,17 @@ def _compare_serving(
     candidate: dict[str, Any],
     limits: dict[str, float | None],
 ) -> None:
-    """Gate the v5 ``serving`` section.
+    """Gate the v6 ``serving`` section.
 
     Candidate invariants hold regardless of the baseline: ground-truth
     mismatches, request errors and rejections are hard errors — the
     canonical suite runs far below capacity, so *any* shed request means the
-    service (not the load) changed.  Against a baseline, the structural
-    counts must match exactly (zero tolerance); latency and throughput feed
-    informational deltas.  A candidate without a serving section is a note,
-    not an error — plain matrix runs (and older comparisons) stay valid.
+    service (not the load) changed — and so is a page-severity SLO alert
+    firing during one of these clean runs (the burn rates themselves stay
+    informational).  Against a baseline, the structural counts must match
+    exactly (zero tolerance); latency and throughput feed informational
+    deltas.  A candidate without a serving section is a note, not an error —
+    plain matrix runs (and older comparisons) stay valid.
     """
     base = baseline.get("serving")
     cand = candidate.get("serving")
@@ -728,6 +756,14 @@ def _compare_serving(
             result.errors.append(
                 f"{label}: {counts['rejected']} requests shed — the canonical "
                 "suite runs below capacity, rejections mean lost throughput"
+            )
+        slo = scenario.get("slo")
+        if isinstance(slo, dict) and int(slo.get("page_alerts", 0)):
+            worst = slo.get("max_severity_seen", "page")
+            result.errors.append(
+                f"{label}: {slo['page_alerts']} page-severity SLO alert(s) "
+                f"fired during a clean run (worst seen: {worst}) — the "
+                "canonical suite must never burn error budget at page rate"
             )
         base_scenario = base_scenarios.get(key)
         if base_scenario is None:

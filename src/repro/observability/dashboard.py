@@ -1,0 +1,454 @@
+"""Dashboards over the flight recorder: terminal, HTML, and HTTP routes.
+
+Three consumers of the same inputs — a
+:class:`~repro.observability.tsdb.TimeSeriesStore` (live or rebuilt from a
+``/tsdb.json`` document), an optional ``/alerts.json`` snapshot from
+:class:`~repro.observability.slo.SLOEvaluator`, and an optional per-queue
+health document (:meth:`~repro.serve.service.SortService.queues_snapshot`):
+
+* :func:`render_dashboard` — the live terminal dashboard behind
+  ``repro dash``: per-SLO alert badges, sparklines
+  (:func:`~repro.viz.render_sparkline`) for request/shed rates, queue depth
+  and windowed p99s, and a per-queue health table shaded with
+  :func:`~repro.viz.heat_shade`;
+* :func:`dashboard_html` — a standalone, self-refreshing HTML page (inline
+  SVG sparklines, no external assets) mounted as ``GET /dashboard``;
+* :func:`flight_recorder_routes` — the route dict that mounts
+  ``/dashboard``, ``/alerts.json`` and ``/tsdb.json`` on a
+  :class:`~repro.observability.httpexpo.MetricsServer`.
+
+Because every renderer consumes JSON-shaped inputs, ``repro dash --target``
+can point at a remote server, fetch the three documents, and render the
+identical dashboard locally (:func:`fetch_dashboard_inputs`).
+"""
+
+from __future__ import annotations
+
+import html as html_mod
+import json
+import urllib.error
+import urllib.request
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..viz import heat_shade, render_sparkline
+from .tsdb import TimeSeriesStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .httpexpo import RouteHandler
+    from .slo import SLOEvaluator
+
+__all__ = [
+    "dashboard_html",
+    "fetch_dashboard_inputs",
+    "flight_recorder_routes",
+    "render_dashboard",
+]
+
+_JSON = "application/json"
+
+#: (label, unit, derivation) — how each panel reads the store
+_PANELS: tuple[tuple[str, str, str, str, float], ...] = (
+    # label, unit, metric, derivation(rate|gauge|p99), display scale
+    ("requests/s", "req/s", "repro_serve_requests_total", "rate", 1.0),
+    ("sheds/s", "req/s", "repro_serve_rejections_total", "rate", 1.0),
+    ("queue depth", "", "repro_serve_queue_depth", "gauge", 1.0),
+    ("request p99", "ms", "repro_serve_request_seconds", "p99", 1e3),
+    ("queue-wait p99", "ms", "repro_serve_queue_wait_seconds", "p99", 1e3),
+)
+
+#: severity → (terminal badge, status colour) — the status palette is fixed
+#: and always paired with an icon + label, never colour alone
+_SEVERITY_STYLE = {
+    "ok": ("+ ok  ", "#0ca30c"),
+    "warning": ("! warn", "#fab219"),
+    "page": ("!! PAGE", "#d03b3b"),
+}
+
+
+def _fmt(value: float | None, digits: int = 1) -> str:
+    if value is None or value != value:
+        return "-"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.{digits}f}"
+
+
+def panel_series(
+    store: TimeSeriesStore, window_s: float | None = None
+) -> list[dict[str, Any]]:
+    """Each panel's points (display-scaled) and latest value, in panel order."""
+    out: list[dict[str, Any]] = []
+    for label, unit, metric, derivation, scale in _PANELS:
+        if derivation == "rate":
+            pts = store.rate_points(metric, window_s=window_s)
+        elif derivation == "gauge":
+            pts = store.points(metric, window_s=window_s)
+        else:
+            pts = store.quantile_points(metric, 0.99, window_s=window_s)
+        values = [v * scale for _, v in pts]
+        out.append(
+            {
+                "label": label,
+                "unit": unit,
+                "metric": metric,
+                "values": values,
+                "last": values[-1] if values else None,
+            }
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# terminal renderer
+# ----------------------------------------------------------------------
+
+
+def _render_alerts_text(alerts: dict[str, Any]) -> list[str]:
+    lines = [f"alerts: {alerts.get('current_severity', 'ok')}"
+             f" (pages fired: {alerts.get('page_alerts', 0)},"
+             f" worst seen: {alerts.get('max_severity_seen', 'ok')})"]
+    now = alerts.get("evaluated_at")
+    for alert in alerts.get("alerts", ()):
+        severity = str(alert.get("severity", "ok"))
+        badge, _ = _SEVERITY_STYLE.get(severity, (severity, ""))
+        spec = alert.get("spec", {})
+        burn = alert.get("burn", {})
+        burns = " ".join(
+            f"{key.split('_')[0][0]}{key.split('_')[1][0]}={_fmt(burn.get(key), 2)}"
+            for key in ("page_long", "page_short", "warn_long", "warn_short")
+        )
+        lines.append(f"  {badge:<8} {str(spec.get('name', '?')):<24} burn {burns}")
+        for event in alert.get("events", ())[-3:]:
+            # event times share the store's monotonic clock; show them
+            # relative to the snapshot so they read as "N seconds ago"
+            when = event.get("time")
+            if isinstance(now, (int, float)) and isinstance(when, (int, float)):
+                at = f"{when - now:+.2f}s"
+            else:
+                at = f"t={_fmt(when, 2)}s"
+            lines.append(
+                f"           {event['kind']:<9} {event['from']} -> {event['to']} {at}"
+            )
+    return lines
+
+
+def _render_queues_text(queues: dict[str, Any]) -> list[str]:
+    lines = ["queues:"]
+    header = (
+        f"  {'cell':<18} {'depth':>7} {'peak':>5} {'done':>7} {'shed':>5}"
+        f" {'err':>4} {'p50ms':>7} {'p99ms':>7} {'wait99':>7}"
+    )
+    lines.append(header)
+    peak_depth = max((float(q.get("peak_depth", 0)) for q in queues.values()), default=0.0)
+    for key in sorted(queues):
+        q = queues[key]
+        depth = float(q.get("depth", 0))
+        shade = heat_shade(depth, peak_depth)
+        lines.append(
+            f"  {key:<18} {shade}{int(depth):>6} {int(q.get('peak_depth', 0)):>5}"
+            f" {int(q.get('completed', 0)):>7} {int(q.get('rejected', 0)):>5}"
+            f" {int(q.get('errors', 0)):>4}"
+            f" {_fmt(q.get('p50_ms')):>7} {_fmt(q.get('p99_ms')):>7}"
+            f" {_fmt(q.get('queue_wait_p99_ms')):>7}"
+        )
+    return lines
+
+
+def render_dashboard(
+    store: TimeSeriesStore,
+    alerts: dict[str, Any] | None = None,
+    queues: dict[str, Any] | None = None,
+    window_s: float | None = None,
+    width: int = 44,
+) -> str:
+    """The ``repro dash`` terminal view; returns a printable string."""
+    window_note = f", window {window_s:g}s" if window_s is not None else ""
+    lines = [
+        f"flight recorder - {store.ticks} samples @ {store.interval_s:g}s{window_note}"
+    ]
+    if alerts is not None:
+        lines.extend(_render_alerts_text(alerts))
+    lines.append("panels:")
+    for panel in panel_series(store, window_s=window_s):
+        spark = render_sparkline(panel["values"], width=width)
+        unit = f" {panel['unit']}" if panel["unit"] else ""
+        lines.append(f"  {panel['label']:<15} {spark} {_fmt(panel['last'])}{unit}")
+    if queues:
+        lines.extend(_render_queues_text(queues))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# HTML renderer
+# ----------------------------------------------------------------------
+
+_HTML_STYLE = """
+:root { color-scheme: light; }
+body {
+  margin: 0; padding: 24px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--text-primary);
+}
+.viz-root {
+  color-scheme: light;
+  --page:           #f9f9f7;
+  --surface-1:      #fcfcfb;
+  --text-primary:   #0b0b0b;
+  --text-secondary: #52514e;
+  --muted:          #898781;
+  --grid:           #e1e0d9;
+  --border:         rgba(11,11,11,0.10);
+  --series-1:       #2a78d6;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --page:           #0d0d0d;
+    --surface-1:      #1a1a19;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --muted:          #898781;
+    --grid:           #2c2c2a;
+    --border:         rgba(255,255,255,0.10);
+    --series-1:       #3987e5;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --page:           #0d0d0d;
+  --surface-1:      #1a1a19;
+  --text-primary:   #ffffff;
+  --text-secondary: #c3c2b7;
+  --muted:          #898781;
+  --grid:           #2c2c2a;
+  --border:         rgba(255,255,255,0.10);
+  --series-1:       #3987e5;
+}
+h1 { font-size: 18px; margin: 0 0 4px; }
+.sub { color: var(--text-secondary); font-size: 13px; margin-bottom: 20px; }
+.cards { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 20px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 220px;
+}
+.card .label { color: var(--text-secondary); font-size: 12px; }
+.card .value { font-size: 24px; margin: 2px 0 6px; }
+.card .value .unit { color: var(--muted); font-size: 13px; }
+.alert { display: flex; align-items: center; gap: 8px; padding: 6px 0;
+         border-bottom: 1px solid var(--grid); font-size: 13px; }
+.alert:last-child { border-bottom: none; }
+.alert .dot { width: 10px; height: 10px; border-radius: 50%; flex: none; }
+.alert .sev { font-weight: 600; min-width: 72px; }
+.alert .burns { color: var(--text-secondary); margin-left: auto;
+                font-variant-numeric: tabular-nums; }
+table { border-collapse: collapse; background: var(--surface-1);
+        border: 1px solid var(--border); border-radius: 8px; font-size: 13px; }
+th, td { padding: 6px 12px; text-align: right;
+         font-variant-numeric: tabular-nums; }
+th { color: var(--text-secondary); font-weight: 500;
+     border-bottom: 1px solid var(--grid); }
+td:first-child, th:first-child { text-align: left; }
+section h2 { font-size: 14px; color: var(--text-secondary);
+             font-weight: 600; margin: 20px 0 8px; }
+"""
+
+#: severity → (icon glyph, label, fixed status colour)
+_HTML_SEVERITY = {
+    "ok": ("✓", "ok", "#0ca30c"),
+    "warning": ("⚠", "warning", "#fab219"),
+    "page": ("●", "page", "#d03b3b"),
+}
+
+
+def _svg_sparkline(values: list[float], width: int = 200, height: int = 36) -> str:
+    """An inline SVG polyline sparkline (no axes — a stat-tile trend)."""
+    if not values:
+        return (
+            f'<svg width="{width}" height="{height}" role="img" '
+            f'aria-label="no data"></svg>'
+        )
+    finite = [v for v in values if v == v and abs(v) != float("inf")]
+    top = max(max(finite, default=0.0), 1e-12)
+    n = len(values)
+    pts = []
+    for i, v in enumerate(values):
+        if v != v or abs(v) == float("inf"):
+            continue
+        x = 2 + (width - 4) * (i / max(n - 1, 1))
+        y = height - 2 - (height - 6) * (min(max(v, 0.0), top) / top)
+        pts.append(f"{x:.1f},{y:.1f}")
+    title = f"last {len(values)} samples, peak {top:g}"
+    return (
+        f'<svg width="{width}" height="{height}" role="img" aria-label="{title}">'
+        f"<title>{title}</title>"
+        f'<polyline fill="none" stroke="var(--series-1)" stroke-width="2" '
+        f'stroke-linejoin="round" stroke-linecap="round" points="{" ".join(pts)}"/>'
+        f"</svg>"
+    )
+
+
+def dashboard_html(
+    store: TimeSeriesStore,
+    alerts: dict[str, Any] | None = None,
+    queues: dict[str, Any] | None = None,
+    refresh_s: float | None = 2.0,
+    window_s: float | None = 60.0,
+    title: str = "repro flight recorder",
+) -> str:
+    """A standalone self-refreshing HTML dashboard (``GET /dashboard``)."""
+    esc = html_mod.escape
+    refresh = (
+        f'<meta http-equiv="refresh" content="{refresh_s:g}">' if refresh_s else ""
+    )
+    cards = []
+    for panel in panel_series(store, window_s=window_s):
+        unit = f' <span class="unit">{esc(panel["unit"])}</span>' if panel["unit"] else ""
+        cards.append(
+            '<div class="card">'
+            f'<div class="label">{esc(panel["label"])}</div>'
+            f'<div class="value">{_fmt(panel["last"])}{unit}</div>'
+            f"{_svg_sparkline(panel['values'])}"
+            "</div>"
+        )
+    alert_rows = []
+    if alerts is not None:
+        for alert in alerts.get("alerts", ()):
+            severity = str(alert.get("severity", "ok"))
+            icon, label, colour = _HTML_SEVERITY.get(severity, ("?", severity, "#898781"))
+            burn = alert.get("burn", {})
+            burns = " ".join(
+                f"{k}={_fmt(burn.get(k), 2)}"
+                for k in ("page_long", "page_short", "warn_long", "warn_short")
+            )
+            name = esc(str(alert.get("spec", {}).get("name", "?")))
+            alert_rows.append(
+                '<div class="alert">'
+                f'<span class="dot" style="background:{colour}"></span>'
+                f'<span class="sev" style="color:{colour}">{icon} {esc(label)}</span>'
+                f"<span>{name}</span>"
+                f'<span class="burns">{esc(burns)}</span>'
+                "</div>"
+            )
+    queue_rows = []
+    if queues:
+        for key in sorted(queues):
+            q = queues[key]
+            queue_rows.append(
+                "<tr>"
+                f"<td>{esc(str(key))}</td>"
+                f"<td>{int(q.get('depth', 0))}</td>"
+                f"<td>{int(q.get('peak_depth', 0))}</td>"
+                f"<td>{int(q.get('completed', 0))}</td>"
+                f"<td>{int(q.get('rejected', 0))}</td>"
+                f"<td>{int(q.get('errors', 0))}</td>"
+                f"<td>{_fmt(q.get('p50_ms'))}</td>"
+                f"<td>{_fmt(q.get('p99_ms'))}</td>"
+                f"<td>{_fmt(q.get('queue_wait_p99_ms'))}</td>"
+                "</tr>"
+            )
+    alerts_section = (
+        '<section><h2>SLO alerts</h2><div class="card" style="min-width:480px">'
+        + ("".join(alert_rows) or '<div class="alert">no SLOs installed</div>')
+        + "</div></section>"
+        if alerts is not None
+        else ""
+    )
+    queues_section = (
+        "<section><h2>queues</h2><table><thead><tr>"
+        "<th>cell</th><th>depth</th><th>peak</th><th>completed</th>"
+        "<th>rejected</th><th>errors</th><th>p50 ms</th><th>p99 ms</th>"
+        "<th>wait p99 ms</th></tr></thead><tbody>"
+        + "".join(queue_rows)
+        + "</tbody></table></section>"
+        if queues
+        else ""
+    )
+    sub = (
+        f"{store.ticks} samples @ {store.interval_s:g}s"
+        + (f" - trailing {window_s:g}s" if window_s else "")
+        + (f" - refreshes every {refresh_s:g}s" if refresh_s else "")
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        f'<html lang="en"><head><meta charset="utf-8">{refresh}'
+        f"<title>{esc(title)}</title><style>{_HTML_STYLE}</style></head>"
+        '<body class="viz-root">'
+        f"<h1>{esc(title)}</h1>"
+        f'<div class="sub">{esc(sub)}</div>'
+        f'<div class="cards">{"".join(cards)}</div>'
+        f"{alerts_section}{queues_section}"
+        "</body></html>\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+
+
+def flight_recorder_routes(
+    store: TimeSeriesStore,
+    evaluator: "SLOEvaluator | None" = None,
+    queues_fn: Callable[[], dict[str, Any]] | None = None,
+    window_s: float | None = None,
+    max_points: int = 240,
+) -> "dict[tuple[str, str], RouteHandler]":
+    """Route handlers for ``/dashboard``, ``/alerts.json``, ``/tsdb.json``.
+
+    Merge into :class:`~repro.observability.httpexpo.MetricsServer`'s
+    ``handlers``.  ``/alerts.json`` re-evaluates the SLOs on every request,
+    so a scrape always sees burn rates as of its own arrival.
+    """
+
+    def tsdb_handler(_payload: bytes) -> tuple[int, str, bytes]:
+        doc = store.to_json(window_s=window_s, max_points=max_points)
+        return 200, _JSON, (json.dumps(doc) + "\n").encode()
+
+    def alerts_handler(_payload: bytes) -> tuple[int, str, bytes]:
+        if evaluator is None:
+            return 404, "text/plain; charset=utf-8", b"no SLO evaluator installed\n"
+        evaluator.evaluate()
+        return 200, _JSON, (json.dumps(evaluator.snapshot()) + "\n").encode()
+
+    def dash_handler(_payload: bytes) -> tuple[int, str, bytes]:
+        if evaluator is not None:
+            evaluator.evaluate()
+        alerts = evaluator.snapshot() if evaluator is not None else None
+        queues = queues_fn() if queues_fn is not None else None
+        page = dashboard_html(store, alerts=alerts, queues=queues, window_s=window_s)
+        return 200, "text/html; charset=utf-8", page.encode()
+
+    return {
+        ("GET", "/tsdb.json"): tsdb_handler,
+        ("GET", "/alerts.json"): alerts_handler,
+        ("GET", "/dashboard"): dash_handler,
+    }
+
+
+def fetch_dashboard_inputs(
+    target: str, timeout: float = 5.0
+) -> tuple[TimeSeriesStore, dict[str, Any] | None, dict[str, Any] | None]:
+    """Fetch ``/tsdb.json`` + ``/alerts.json`` + ``/queues.json`` from a
+    live server and rebuild the renderer inputs (``repro dash --target``).
+
+    The tsdb document is mandatory (raises on failure); alerts and queues
+    are best-effort ``None`` when the server doesn't serve them.
+    """
+    base = target.rstrip("/")
+
+    def get(path: str) -> Any:
+        with urllib.request.urlopen(base + path, timeout=timeout) as resp:
+            return json.loads(resp.read())
+
+    store = TimeSeriesStore.from_json(get("/tsdb.json"))
+    alerts: dict[str, Any] | None
+    queues: dict[str, Any] | None
+    try:
+        alerts = dict(get("/alerts.json"))
+    except (urllib.error.URLError, ValueError):
+        alerts = None
+    try:
+        queues = dict(get("/queues.json"))
+    except (urllib.error.URLError, ValueError):
+        queues = None
+    return store, alerts, queues

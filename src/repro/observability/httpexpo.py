@@ -8,6 +8,12 @@ serving three endpoints:
     Prometheus text exposition (``registry.expose_text()``), scrape-ready;
 ``/healthz``
     liveness probe, always ``ok``;
+``/readyz``
+    readiness probe: ``200 ok`` when the optional ``readiness`` callable
+    says traffic is welcome, ``503`` with the reason otherwise (the sort
+    service reports "shutting down" while draining and "queue saturated"
+    at the admission bound) — liveness and readiness are deliberately
+    split so a draining process is still *alive* but takes no new traffic;
 ``/snapshot.json``
     the registry's JSON snapshot plus schedule-cache stats — the same
     numbers, machine-readable.
@@ -66,11 +72,13 @@ class MetricsServer:
         collectors: tuple[Callable[[], None], ...] = (),
         snapshot_extra: Callable[[], dict[str, Any]] | None = None,
         handlers: dict[tuple[str, str], RouteHandler] | None = None,
+        readiness: Callable[[], tuple[bool, str]] | None = None,
     ) -> None:
         self.registry = registry
         self.collectors = list(collectors)
         self.snapshot_extra = snapshot_extra
         self.handlers = dict(handlers or {})
+        self.readiness = readiness
         self._shutdown_event = threading.Event()
         outer = self
 
@@ -107,7 +115,7 @@ class MetricsServer:
 
     # -- request handling ------------------------------------------------
 
-    _BUILTIN_PATHS = ("/metrics", "/healthz", "/snapshot.json")
+    _BUILTIN_PATHS = ("/metrics", "/healthz", "/readyz", "/snapshot.json")
 
     def _allowed(self, path: str) -> str:
         """The ``Allow`` header value for a known path hit with a bad method."""
@@ -130,6 +138,18 @@ class MetricsServer:
             if method != "GET":
                 return 405, "text/plain; charset=utf-8", b"method not allowed\n"
             return 200, "text/plain; charset=utf-8", b"ok\n"
+        if path == "/readyz":
+            # readiness is distinct from liveness: /healthz says "the process
+            # is up", /readyz says "send me traffic" — 503 while draining or
+            # saturated so load balancers stop routing before requests shed
+            if method != "GET":
+                return 405, "text/plain; charset=utf-8", b"method not allowed\n"
+            if self.readiness is None:
+                return 200, "text/plain; charset=utf-8", b"ok\n"
+            ready, reason = self.readiness()
+            if ready:
+                return 200, "text/plain; charset=utf-8", b"ok\n"
+            return 503, "text/plain; charset=utf-8", f"not ready: {reason}\n".encode()
         if path in self._BUILTIN_PATHS or any(p == path for _, p in self.handlers):
             if method != "GET" or path not in self._BUILTIN_PATHS:
                 return 405, "text/plain; charset=utf-8", b"method not allowed\n"

@@ -289,6 +289,22 @@ class Histogram(_Instrument):
                 return float("nan")
             return quantile_from_buckets(self.buckets, series.bucket_counts, q)
 
+    def raw_samples(self) -> list[tuple[Labels, int, float, tuple[int, ...]]]:
+        """Consistent raw samples of every series, for the flight recorder.
+
+        Returns one ``(labels, count, sum, bucket_counts)`` tuple per series,
+        where ``bucket_counts`` is the *non-cumulative* per-bound count vector
+        (``+Inf`` overflow last).  The whole list is built under the
+        instrument lock, so within each tuple ``sum(bucket_counts) == count``
+        always holds — a sampler thread can never observe a torn histogram
+        mid-``observe``.
+        """
+        with self._lock:
+            return [
+                (key, s.count, s.total, tuple(s.bucket_counts))
+                for key, s in self._series.items()
+            ]
+
     def snapshot_series(self, **labels: Any) -> dict[str, Any]:
         """Count / sum / per-bucket cumulative counts of one series."""
         with self._lock:

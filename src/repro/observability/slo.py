@@ -1,0 +1,407 @@
+"""Declarative SLOs evaluated as multi-window burn-rate alerts.
+
+An SLO here is "fraction of *good* events ≥ ``objective``" over a rolling
+window, with two event-counting styles covering everything the serving layer
+promises:
+
+``counter_ratio``
+    bad / total from two counters — availability (sheds over offered) and
+    the deadline-miss ratio;
+``histogram_threshold``
+    bad = observations *above* ``threshold_s`` in a latency histogram — so
+    "p99 request latency ≤ 250ms" becomes "≤ 1% of requests slower than
+    250ms", a ratio SLI that burn-rate math applies to directly.  The
+    threshold must sit on (or near) a bucket bound; it is snapped to the
+    largest bound ≤ threshold.
+
+Evaluation is the Google-SRE multi-window burn-rate scheme: with error
+budget ``1 − objective``, the *burn rate* over a window is
+``error_ratio / budget`` (1.0 = spending the budget exactly at the rate
+that exhausts it at the window's horizon).  An alert severity fires only
+when **both** its long and its short window exceed the policy's burn
+threshold — the long window rejects blips, the short window makes the alert
+*resolve* quickly once the incident ends.  Two policies per spec:
+
+* **page** — fast windows, high burn (default 14.4× on 60s/5s);
+* **warn** — slow windows, low burn (default 3× on 300s/30s).
+
+:class:`SLOEvaluator` runs every spec against a
+:class:`~repro.observability.tsdb.TimeSeriesStore` and drives an
+ok → warning → page state machine per spec; every transition appends to the
+alert history, is exposed in the ``/alerts.json`` snapshot, and — when a
+:class:`~repro.observability.tracer.Tracer` is attached — emits a
+``slo-firing`` / ``slo-resolved`` point event on the tracer bus, next to the
+``serve-*`` events the service itself publishes.
+
+:func:`default_serve_slos` declares the four serving objectives
+(availability, p99 request latency, deadline misses, queue wait); pass
+``window_scale`` to shrink the canonical windows for short runs (loadgen
+scales them to the run duration so a 2-second burst still exercises the
+alert math).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
+
+from .tsdb import TimeSeriesStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .tracer import Tracer
+
+__all__ = [
+    "BurnPolicy",
+    "SLOEvaluator",
+    "SLOSpec",
+    "SEVERITIES",
+    "default_serve_slos",
+]
+
+#: alert severities, in escalation order
+SEVERITIES = ("ok", "warning", "page")
+
+_SEVERITY_RANK = {name: i for i, name in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class BurnPolicy:
+    """One severity's trigger: burn ≥ ``burn`` on *both* windows."""
+
+    #: the long window (seconds) — rejects blips
+    long_s: float
+    #: the short window (seconds) — makes resolution fast
+    short_s: float
+    #: burn-rate threshold (multiples of budget-neutral spend)
+    burn: float
+
+    def __post_init__(self) -> None:
+        if self.long_s <= 0 or self.short_s <= 0:
+            raise ValueError("burn windows must be positive")
+        if self.short_s > self.long_s:
+            raise ValueError("short window must not exceed the long window")
+        if self.burn <= 0:
+            raise ValueError("burn threshold must be positive")
+
+    def scaled(self, factor: float) -> "BurnPolicy":
+        return replace(self, long_s=self.long_s * factor, short_s=self.short_s * factor)
+
+    def to_json(self) -> dict[str, Any]:
+        return {"long_s": self.long_s, "short_s": self.short_s, "burn": self.burn}
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective; see the module docstring for semantics."""
+
+    name: str
+    objective: float
+    kind: str = "counter_ratio"
+    description: str = ""
+    #: counter_ratio: the bad-event and total-event counters (+ label filters)
+    bad_metric: str | None = None
+    bad_labels: dict[str, str] = field(default_factory=dict)
+    total_metric: str | None = None
+    total_labels: dict[str, str] = field(default_factory=dict)
+    #: histogram_threshold: the latency histogram and the good/bad boundary
+    metric: str | None = None
+    labels: dict[str, str] = field(default_factory=dict)
+    threshold_s: float | None = None
+    page: BurnPolicy = BurnPolicy(long_s=60.0, short_s=5.0, burn=14.4)
+    warn: BurnPolicy = BurnPolicy(long_s=300.0, short_s=30.0, burn=3.0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be strictly between 0 and 1")
+        if self.kind == "counter_ratio":
+            if not self.bad_metric or not self.total_metric:
+                raise ValueError("counter_ratio needs bad_metric and total_metric")
+        elif self.kind == "histogram_threshold":
+            if not self.metric or self.threshold_s is None:
+                raise ValueError("histogram_threshold needs metric and threshold_s")
+        else:
+            raise ValueError(f"unknown SLI kind {self.kind!r}")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the tolerated bad-event fraction."""
+        return 1.0 - self.objective
+
+    def scaled(self, factor: float) -> "SLOSpec":
+        """The same objective with both policies' windows × ``factor``."""
+        if factor == 1.0:
+            return self
+        return replace(self, page=self.page.scaled(factor), warn=self.warn.scaled(factor))
+
+    def error_ratio(
+        self, store: TimeSeriesStore, window_s: float, now: float | None = None
+    ) -> float | None:
+        """Bad-over-total inside the window; ``None`` with no events."""
+        if self.kind == "counter_ratio":
+            assert self.bad_metric is not None and self.total_metric is not None
+            total = store.increase(self.total_metric, window_s, now=now, **self.total_labels)
+            if total <= 0:
+                return None
+            bad = store.increase(self.bad_metric, window_s, now=now, **self.bad_labels)
+            return min(max(bad / total, 0.0), 1.0)
+        assert self.metric is not None and self.threshold_s is not None
+        win = store.histogram_increase(self.metric, window_s, now=now, **self.labels)
+        if win is None:
+            return None
+        bounds, count, _sum, bucket_deltas = win
+        if count <= 0:
+            return None
+        # snap the threshold to the largest bound <= threshold_s
+        good = 0
+        for bound, delta in zip(bounds, bucket_deltas):
+            if bound <= self.threshold_s * (1.0 + 1e-9):
+                good += delta
+        return min(max((count - good) / count, 0.0), 1.0)
+
+    def burn_rate(
+        self, store: TimeSeriesStore, window_s: float, now: float | None = None
+    ) -> float | None:
+        """Error ratio over the window in budget multiples (``None`` = no data)."""
+        ratio = self.error_ratio(store, window_s, now=now)
+        if ratio is None:
+            return None
+        return ratio / self.budget
+
+    def to_json(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "budget": self.budget,
+            "description": self.description,
+            "page": self.page.to_json(),
+            "warn": self.warn.to_json(),
+        }
+        if self.kind == "counter_ratio":
+            doc["bad_metric"] = self.bad_metric
+            doc["bad_labels"] = dict(self.bad_labels)
+            doc["total_metric"] = self.total_metric
+            doc["total_labels"] = dict(self.total_labels)
+        else:
+            doc["metric"] = self.metric
+            doc["labels"] = dict(self.labels)
+            doc["threshold_s"] = self.threshold_s
+        return doc
+
+
+class _AlertState:
+    """Mutable per-spec alert state inside the evaluator."""
+
+    __slots__ = ("severity", "since", "events", "pages_fired")
+
+    def __init__(self) -> None:
+        self.severity = "ok"
+        self.since: float | None = None
+        self.events: list[dict[str, Any]] = []
+        self.pages_fired = 0
+
+
+class SLOEvaluator:
+    """Runs specs against the store and keeps the alert state machine.
+
+    Thread-safe: the serving stack calls :meth:`evaluate` from the tsdb
+    sampler thread (via ``store.on_tick``) while scrape threads call
+    :meth:`snapshot` for ``/alerts.json``.
+    """
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        specs: tuple[SLOSpec, ...] | list[SLOSpec] = (),
+        tracer: "Tracer | None" = None,
+        max_events: int = 256,
+    ) -> None:
+        self.store = store
+        self.tracer = tracer
+        self.max_events = max_events
+        self._lock = threading.RLock()
+        self._specs: list[SLOSpec] = []
+        self._states: dict[str, _AlertState] = {}
+        for spec in specs:
+            self.add(spec)
+
+    def add(self, spec: SLOSpec) -> None:
+        with self._lock:
+            if any(s.name == spec.name for s in self._specs):
+                raise ValueError(f"duplicate SLO name {spec.name!r}")
+            self._specs.append(spec)
+            self._states[spec.name] = _AlertState()
+
+    @property
+    def specs(self) -> tuple[SLOSpec, ...]:
+        with self._lock:
+            return tuple(self._specs)
+
+    # -- evaluation ------------------------------------------------------
+
+    def _burns(self, spec: SLOSpec, now: float) -> dict[str, float | None]:
+        return {
+            "page_long": spec.burn_rate(self.store, spec.page.long_s, now=now),
+            "page_short": spec.burn_rate(self.store, spec.page.short_s, now=now),
+            "warn_long": spec.burn_rate(self.store, spec.warn.long_s, now=now),
+            "warn_short": spec.burn_rate(self.store, spec.warn.short_s, now=now),
+        }
+
+    @staticmethod
+    def _severity(spec: SLOSpec, burns: dict[str, float | None]) -> str:
+        def fires(long_key: str, short_key: str, threshold: float) -> bool:
+            lng, sht = burns[long_key], burns[short_key]
+            return lng is not None and sht is not None and lng >= threshold and sht >= threshold
+
+        if fires("page_long", "page_short", spec.page.burn):
+            return "page"
+        if fires("warn_long", "warn_short", spec.warn.burn):
+            return "warning"
+        return "ok"
+
+    def evaluate(self, now: float | None = None) -> list[dict[str, Any]]:
+        """Evaluate every spec once; returns the transition events (if any).
+
+        Each transition dict carries the spec name, ``from``/``to``
+        severities, the burn rates that drove it, and ``kind`` —
+        ``"firing"`` when escalating away from ok-ward, ``"resolved"`` when
+        the new severity is ``ok``.  The same events go to the tracer bus as
+        ``slo-firing`` / ``slo-resolved`` point events.
+        """
+        with self._lock:
+            stamp = self.store.now() if now is None else float(now)
+            transitions: list[dict[str, Any]] = []
+            for spec in self._specs:
+                burns = self._burns(spec, stamp)
+                severity = self._severity(spec, burns)
+                state = self._states[spec.name]
+                if severity == state.severity:
+                    continue
+                kind = "resolved" if severity == "ok" else "firing"
+                event = {
+                    "slo": spec.name,
+                    "kind": kind,
+                    "from": state.severity,
+                    "to": severity,
+                    "time": stamp,
+                    "burn": {k: v for k, v in burns.items() if v is not None},
+                }
+                state.events.append(event)
+                del state.events[: -self.max_events]
+                if _SEVERITY_RANK[severity] > _SEVERITY_RANK[state.severity]:
+                    state.since = stamp
+                if severity == "page":
+                    state.pages_fired += 1
+                if severity == "ok":
+                    state.since = None
+                state.severity = severity
+                transitions.append(event)
+        if self.tracer is not None:
+            for event in transitions:
+                self.tracer.event(
+                    f"slo-{event['kind']}",
+                    kind="slo",
+                    slo=event["slo"],
+                    severity=event["to"],
+                    previous=event["from"],
+                )
+        return transitions
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def page_alerts(self) -> int:
+        """Total page-severity firings across all specs since construction."""
+        with self._lock:
+            return sum(state.pages_fired for state in self._states.values())
+
+    @property
+    def max_severity_seen(self) -> str:
+        """The worst severity any spec has ever reached."""
+        with self._lock:
+            worst = 0
+            for state in self._states.values():
+                for event in state.events:
+                    worst = max(worst, _SEVERITY_RANK[event["to"]])
+        return SEVERITIES[worst]
+
+    def snapshot(self, now: float | None = None) -> dict[str, Any]:
+        """The ``/alerts.json`` document: specs, live burns, alert history."""
+        with self._lock:
+            stamp = self.store.now() if now is None else float(now)
+            alerts: list[dict[str, Any]] = []
+            for spec in self._specs:
+                state = self._states[spec.name]
+                alerts.append(
+                    {
+                        "spec": spec.to_json(),
+                        "severity": state.severity,
+                        "since": state.since,
+                        "pages_fired": state.pages_fired,
+                        "burn": self._burns(spec, stamp),
+                        "events": list(state.events),
+                    }
+                )
+            return {
+                "evaluated_at": stamp,
+                "severities": list(SEVERITIES),
+                "page_alerts": self.page_alerts,
+                "max_severity_seen": self.max_severity_seen,
+                "current_severity": SEVERITIES[
+                    max((_SEVERITY_RANK[a["severity"]] for a in alerts), default=0)
+                ],
+                "alerts": alerts,
+            }
+
+
+def default_serve_slos(
+    availability_objective: float = 0.999,
+    latency_objective: float = 0.99,
+    latency_threshold_s: float = 0.25,
+    queue_wait_threshold_s: float = 0.1,
+    deadline_objective: float = 0.999,
+    window_scale: float = 1.0,
+) -> tuple[SLOSpec, ...]:
+    """The four serving objectives, windows scaled by ``window_scale``.
+
+    * ``serve-availability`` — sheds over offered requests;
+    * ``serve-request-p99`` — request latency above ``latency_threshold_s``;
+    * ``serve-deadline-misses`` — completions past the configured deadline;
+    * ``serve-queue-wait-p99`` — queue wait above ``queue_wait_threshold_s``.
+    """
+    specs = (
+        SLOSpec(
+            name="serve-availability",
+            description="fraction of offered requests not shed by admission control",
+            kind="counter_ratio",
+            objective=availability_objective,
+            bad_metric="repro_serve_rejections_total",
+            total_metric="repro_serve_requests_total",
+        ),
+        SLOSpec(
+            name="serve-request-p99",
+            description=f"requests slower than {latency_threshold_s * 1e3:g}ms",
+            kind="histogram_threshold",
+            objective=latency_objective,
+            metric="repro_serve_request_seconds",
+            threshold_s=latency_threshold_s,
+        ),
+        SLOSpec(
+            name="serve-deadline-misses",
+            description="completions past the configured deadline",
+            kind="counter_ratio",
+            objective=deadline_objective,
+            bad_metric="repro_serve_deadline_misses_total",
+            total_metric="repro_serve_requests_total",
+        ),
+        SLOSpec(
+            name="serve-queue-wait-p99",
+            description=f"requests queued longer than {queue_wait_threshold_s * 1e3:g}ms",
+            kind="histogram_threshold",
+            objective=latency_objective,
+            metric="repro_serve_queue_wait_seconds",
+            threshold_s=queue_wait_threshold_s,
+        ),
+    )
+    return tuple(spec.scaled(window_scale) for spec in specs)

@@ -12,8 +12,17 @@ both the service API and its telemetry:
     explicit, never a hang);
 ``GET /queues.json``
     the per-queue health document (:meth:`SortService.queues_snapshot`);
+``GET /readyz``
+    readiness (distinct from ``/healthz`` liveness): ``503`` while the
+    service drains or any queue sits at the admission bound
+    (:meth:`SortService.readiness`);
 ``GET /metrics`` / ``GET /snapshot.json`` / ``GET /healthz``
     the usual exposition, now including the ``repro_serve_*`` instruments.
+
+With ``extra_handlers`` the flight recorder mounts ``/dashboard``,
+``/alerts.json`` and ``/tsdb.json`` on the same port (see
+:func:`repro.observability.dashboard.flight_recorder_routes`; the
+``repro serve --slo`` path).
 
 HTTP requests arrive on server threads while the service lives on an
 asyncio loop; the bridge is ``asyncio.run_coroutine_threadsafe`` onto the
@@ -46,6 +55,7 @@ def build_sort_server(
     host: str = "127.0.0.1",
     port: int = 0,
     request_timeout: float = 30.0,
+    extra_handlers: dict[tuple[str, str], Any] | None = None,
 ) -> MetricsServer:
     """A not-yet-started :class:`MetricsServer` wired to ``service``.
 
@@ -78,14 +88,18 @@ def build_sort_server(
     def queues_handler(_payload: bytes) -> tuple[int, str, bytes]:
         return _json_body(200, service.queues_snapshot())
 
+    handlers: dict[tuple[str, str], Any] = {
+        ("POST", "/sort"): sort_handler,
+        ("GET", "/queues.json"): queues_handler,
+    }
+    if extra_handlers:
+        handlers.update(extra_handlers)
     return MetricsServer(
         service.registry,
         host=host,
         port=port,
         collectors=(lambda: publish_cache_metrics(service.registry),),
         snapshot_extra=lambda: {"queues": service.queues_snapshot()},
-        handlers={
-            ("POST", "/sort"): sort_handler,
-            ("GET", "/queues.json"): queues_handler,
-        },
+        handlers=handlers,
+        readiness=service.readiness,
     )

@@ -23,8 +23,27 @@ JSON-safe documents with structural counts (offered / completed / rejected /
 mismatches / errors — gated at zero tolerance by benchreg's serving section)
 plus informational latency percentiles and throughput.
 
+Two observability layers ride along:
+
+* **server-side latency** — in-process runs always report the service's own
+  ``repro_serve_request_seconds`` / ``repro_serve_queue_wait_seconds``
+  percentiles next to the client view, plus a ``consistent`` verdict:
+  bucketing the client latencies into the *same*
+  :data:`~repro.serve.service.REQUEST_TIME_BUCKETS` makes the two views
+  directly comparable, and per-request dominance (a request's server
+  latency can never exceed what its client measured) guarantees
+  server p99 ≤ client p99 on a clean run;
+* **SLO evaluation** (``slo=True`` / ``repro loadgen --slo``) — a
+  :class:`~repro.observability.tsdb.TimeSeriesStore` sampler runs during
+  the drive, an :class:`~repro.observability.slo.SLOEvaluator` with the
+  default serving SLOs (windows scaled to the run duration) evaluates on
+  every tick, and the final alert snapshot lands in the document's ``slo``
+  section — the part benchreg schema v6 gates (a page-severity alert
+  during a clean run fails the candidate).
+
 Drive an in-process service (default) or a live HTTP endpoint via
-``target=`` / ``repro loadgen --target URL`` (the CI serve-smoke path).
+``target=`` / ``repro loadgen --target URL`` (the CI serve-smoke path; with
+``slo=True`` the target's own ``/alerts.json`` becomes the ``slo`` section).
 """
 
 from __future__ import annotations
@@ -38,11 +57,13 @@ from typing import TYPE_CHECKING, Any, Awaitable, Callable
 
 import numpy as np
 
-from .service import Rejected, ServiceConfig, SortService
+from .service import REQUEST_TIME_BUCKETS, Rejected, ServiceConfig, SortService
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..observability.metrics import MetricsRegistry
+    from ..observability.slo import SLOEvaluator
     from ..observability.tracer import Tracer
+    from ..observability.tsdb import TimeSeriesStore
 
 __all__ = [
     "ARRIVALS",
@@ -217,6 +238,9 @@ async def _drive(
         "duration_s": duration,
         "offered_rps": scenario.requests / duration if duration > 0 else 0.0,
         "completed_rps": counts["completed"] / duration if duration > 0 else 0.0,
+        # raw client latencies, popped by run_loadgen before the doc is
+        # returned (used for the bucketed server-vs-client comparison)
+        "_latencies_s": latencies,
     }
 
 
@@ -257,6 +281,81 @@ def _fetch_queues(target: str, timeout: float) -> dict[str, Any] | None:
 
 
 # ----------------------------------------------------------------------
+# server-vs-client latency consistency
+# ----------------------------------------------------------------------
+
+
+def _bucketed_client_quantiles(latencies_s: list[float]) -> dict[str, float | None]:
+    """Client latencies pushed through the server's own histogram buckets.
+
+    Interpolated quantiles from identical buckets are order-preserving under
+    per-request dominance, so this is the *fair* client-side number to hold
+    ``repro_serve_request_seconds`` percentiles against — raw ``np.percentile``
+    values would mix two different estimators.
+    """
+    from ..observability.metrics import Histogram
+
+    hist = Histogram("loadgen_client_seconds", buckets=REQUEST_TIME_BUCKETS)
+    for value in latencies_s:
+        hist.observe(value)
+
+    def q(quantile: float) -> float | None:
+        value = hist.quantile(quantile)
+        return None if value != value else value * 1e3
+
+    return {"p50": q(0.50), "p99": q(0.99)}
+
+
+def _server_latency_summary(
+    registry: "MetricsRegistry",
+    snapshot: dict[str, Any],
+    latencies_s: list[float],
+    errors: int,
+    fresh_service: bool,
+) -> dict[str, Any] | None:
+    """The ``server_latency_ms`` document section (in-process runs).
+
+    ``consistent`` is a tri-state: ``True``/``False`` when the comparison is
+    meaningful (fresh registry — the histograms hold exactly this run — and
+    zero errors, since an errored request is observed server-side but never
+    produces a client latency), ``None`` otherwise.
+    """
+    if "repro_serve_request_seconds" not in registry:
+        return None
+    request_hist = registry.histogram("repro_serve_request_seconds")
+    wait_hist = registry.histogram("repro_serve_queue_wait_seconds")
+    cells = sorted(snapshot)
+    if not cells:
+        return None
+    cell = max(cells, key=lambda c: snapshot[c].get("completed", 0))
+
+    def q(hist: Any, quantile: float) -> float | None:
+        value = hist.quantile(quantile, cell=cell)
+        return None if value != value else value * 1e3
+
+    client = _bucketed_client_quantiles(latencies_s)
+    server_p99 = q(request_hist, 0.99)
+    consistent: bool | None = None
+    if fresh_service and errors == 0 and server_p99 is not None and client["p99"] is not None:
+        consistent = bool(server_p99 <= client["p99"] + 1e-9)
+    return {
+        "cell": cell,
+        "request": {"p50": q(request_hist, 0.50), "p99": server_p99},
+        "queue_wait": {"p50": q(wait_hist, 0.50), "p99": q(wait_hist, 0.99)},
+        "client_bucketed": client,
+        "consistent": consistent,
+    }
+
+
+def _fetch_alerts(target: str, timeout: float) -> dict[str, Any] | None:
+    try:
+        with urllib.request.urlopen(target.rstrip("/") + "/alerts.json", timeout=timeout) as resp:
+            return dict(json.loads(resp.read()))
+    except (urllib.error.URLError, ValueError):  # SLO view is best-effort
+        return None
+
+
+# ----------------------------------------------------------------------
 # entry point
 # ----------------------------------------------------------------------
 
@@ -268,16 +367,30 @@ def run_loadgen(
     tracer: "Tracer | None" = None,
     target: str | None = None,
     http_timeout: float = 30.0,
+    slo: bool = False,
+    slo_specs: "tuple[Any, ...] | None" = None,
+    tsdb: "TimeSeriesStore | None" = None,
+    evaluator: "SLOEvaluator | None" = None,
+    sample_interval_s: float = 0.02,
 ) -> dict[str, Any]:
     """Run one scenario to completion and return its result document.
 
     Without ``target`` an in-process :class:`SortService` is created (with
     ``config`` / ``registry`` / ``tracer`` passed through) and drained before
-    the document is built.  With ``target`` (an ``http://host:port`` base
-    URL) requests POST to a live ``/sort`` endpoint instead, and the
-    ``service`` section comes from its ``/queues.json``.  Either way every
-    response is verified against snake-order ground truth and counted under
-    zero-tolerance ``counts``.
+    the document is built; the ``server_latency_ms`` section always compares
+    the service's own latency histograms against the client view.  With
+    ``target`` (an ``http://host:port`` base URL) requests POST to a live
+    ``/sort`` endpoint instead, and the ``service`` section comes from its
+    ``/queues.json``.  Either way every response is verified against
+    snake-order ground truth and counted under zero-tolerance ``counts``.
+
+    ``slo=True`` evaluates SLO burn rates during and after the run and adds
+    the alert snapshot as the ``slo`` section.  In-process the machinery is
+    built automatically (``slo_specs`` overrides the defaults; windows scale
+    to the run duration) unless an existing ``tsdb`` / ``evaluator`` pair is
+    handed in (``repro dash`` demo mode keeps them to render afterwards).
+    Against a ``target`` the server evaluates its own SLOs; its
+    ``/alerts.json`` is fetched best-effort.
     """
     rng = np.random.default_rng(scenario.seed)
     offsets = arrival_offsets(scenario, rng)
@@ -303,23 +416,100 @@ def run_loadgen(
             return await _drive(submit, scenario, keys, expected, offsets)
 
         doc.update(asyncio.run(amain_http()))
+        latencies = doc.pop("_latencies_s", [])
         doc["service"] = _fetch_queues(target, http_timeout)
         doc["config"] = None
+        doc["server_latency_ms"] = _target_latency_summary(doc["service"], latencies)
+        if slo:
+            doc["slo"] = _fetch_alerts(target, http_timeout)
         return doc
 
     service_config = config if config is not None else ServiceConfig()
+    fresh_service = registry is None
+    from ..observability.metrics import MetricsRegistry
+
+    metrics_registry = registry if registry is not None else MetricsRegistry()
+
+    store: "TimeSeriesStore | None" = tsdb
+    slo_evaluator: "SLOEvaluator | None" = evaluator
+    on_tick: Any = None
+    if slo:
+        from ..observability.slo import SLOEvaluator as _Evaluator
+        from ..observability.slo import default_serve_slos
+        from ..observability.tsdb import TimeSeriesStore as _Store
+
+        # scale the sampler and the burn windows to the run: the page-long
+        # window spans (roughly) the whole drive, the short windows a slice
+        # of it, so a 2-second burst exercises the same alert math as an
+        # hour of production traffic
+        est_duration = float(offsets[-1]) + 0.5
+        if store is None:
+            interval = max(min(sample_interval_s, est_duration / 40.0), 0.005)
+            capacity = max(int(est_duration / interval) + 128, 256)
+            store = _Store(metrics_registry, interval_s=interval, capacity=capacity)
+        if slo_evaluator is None:
+            specs = slo_specs if slo_specs is not None else default_serve_slos(
+                window_scale=est_duration / 60.0
+            )
+            slo_evaluator = _Evaluator(store, list(specs), tracer=tracer)
+        on_tick = lambda now: slo_evaluator.evaluate(now)  # noqa: E731
+        store.on_tick.append(on_tick)
 
     async def amain() -> tuple[dict[str, Any], dict[str, Any]]:
-        async with SortService(service_config, registry=registry, tracer=tracer) as service:
+        async with SortService(
+            service_config, registry=metrics_registry, tracer=tracer
+        ) as service:
             result = await _drive(service.submit, scenario, keys, expected, offsets)
             await service.drain()
             return result, service.queues_snapshot()
 
-    result, snapshot = asyncio.run(amain())
+    if store is not None:
+        store.tick()  # baseline sample before any traffic
+        store.start()
+    try:
+        result, snapshot = asyncio.run(amain())
+    finally:
+        if store is not None:
+            store.stop()
+    if store is not None and slo_evaluator is not None:
+        final = store.tick()  # end-of-run sample + evaluation
+        slo_evaluator.evaluate(final)
+        if on_tick is not None:
+            store.on_tick.remove(on_tick)
+        doc["slo"] = slo_evaluator.snapshot(final)
     doc.update(result)
+    latencies = doc.pop("_latencies_s", [])
     doc["service"] = snapshot
     doc["config"] = service_config.to_json()
+    doc["server_latency_ms"] = _server_latency_summary(
+        metrics_registry, snapshot, latencies, result["counts"]["errors"], fresh_service
+    )
     return doc
+
+
+def _target_latency_summary(
+    queues: dict[str, Any] | None, latencies_s: list[float]
+) -> dict[str, Any] | None:
+    """The ``server_latency_ms`` section for target mode (from /queues.json).
+
+    The server-side numbers are cumulative over the target's lifetime (they
+    may include earlier runs), so ``consistent`` stays ``None`` — the
+    comparison is only exact in-process.
+    """
+    if not queues:
+        return None
+    cell = max(sorted(queues), key=lambda c: queues[c].get("completed", 0))
+    q = queues[cell]
+    return {
+        "cell": cell,
+        "request": {"p50": q.get("p50_ms"), "p99": q.get("p99_ms")},
+        "queue_wait": {
+            "p50": q.get("queue_wait_p50_ms"),
+            "p99": q.get("queue_wait_p99_ms"),
+        },
+        "client_bucketed": _bucketed_client_quantiles(latencies_s),
+        "consistent": None,
+    }
 
 
 def default_scenarios(seed: int = 0) -> tuple[LoadScenario, ...]:

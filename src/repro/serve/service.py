@@ -427,16 +427,35 @@ class SortService:
 
     # -- health ----------------------------------------------------------
 
+    def readiness(self) -> tuple[bool, str]:
+        """The ``/readyz`` answer: ``(ready, reason)``.
+
+        Not ready while shutting down (draining: alive, but no new traffic)
+        or while any queue sits at the admission bound (the next submit
+        would shed) — the signal a load balancer needs *before* requests
+        start bouncing off admission control.  Thread-safe: reads two ints.
+        """
+        if self._closed:
+            return False, "shutting down"
+        saturated = sorted(
+            {q.key for q in self._queues.values() if q.depth >= self.config.max_queue_depth}
+        )
+        if saturated:
+            return False, f"queue saturated: {', '.join(saturated)}"
+        return True, "ok"
+
     def queues_snapshot(self) -> dict[str, Any]:
         """JSON-safe per-queue health: depths, outcomes, latency quantiles.
 
         The document behind ``GET /queues.json`` and the ``repro report``
         serving table; quantiles with no observations come back as ``None``
-        (never NaN, which strict JSON parsers refuse).
+        (never NaN, which strict JSON parsers refuse).  Both the end-to-end
+        request latency and the queue-wait component get p50/p99 — the
+        spread between them is the flush (kernel) time.
         """
 
-        def _q(q: float, cell: str) -> float | None:
-            value = self._request_seconds.quantile(q, cell=cell)
+        def _q(hist: Any, q: float, cell: str) -> float | None:
+            value = hist.quantile(q, cell=cell)
             return None if isnan(value) else value * 1e3
 
         out: dict[str, Any] = {}
@@ -454,7 +473,9 @@ class SortService:
                 "mean_batch_occupancy": (
                     occupancy["sum"] / occupancy["count"] if occupancy["count"] else 0.0
                 ),
-                "p50_ms": _q(0.50, key),
-                "p99_ms": _q(0.99, key),
+                "p50_ms": _q(self._request_seconds, 0.50, key),
+                "p99_ms": _q(self._request_seconds, 0.99, key),
+                "queue_wait_p50_ms": _q(self._queue_wait, 0.50, key),
+                "queue_wait_p99_ms": _q(self._queue_wait, 0.99, key),
             }
         return out

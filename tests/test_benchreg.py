@@ -61,10 +61,11 @@ class TestWorkloadMatrix:
             run_cell(WorkloadCell("path", 3, 2, "quantum"))
 
     def test_schema_version_pinned(self):
-        # v5: documents run with --serving carry a top-level ``serving``
-        # section whose structural counts are gated at exact equality.
+        # v6: serving scenarios run under the flight recorder and carry an
+        # ``slo`` alert snapshot plus a ``server_latency_ms`` section; a
+        # page-severity alert during the canonical suite fails the candidate.
         # Bump this pin deliberately alongside BENCH_seed.json regeneration.
-        assert SCHEMA_VERSION == 5
+        assert SCHEMA_VERSION == 6
 
     def test_document_schema(self, matrix_doc):
         assert matrix_doc["schema_version"] == SCHEMA_VERSION
@@ -311,7 +312,7 @@ class TestBenchCli:
         doc = load_document(str(out))
         assert doc["label"] == "t" and len(doc["cells"]) == len(DEFAULT_MATRIX)
         stdout = capsys.readouterr().out
-        assert "schema v5" in stdout and "conformance=ok" in stdout
+        assert "schema v6" in stdout and "conformance=ok" in stdout
 
     def test_bench_compare_same_file_ok(self, tmp_path, capsys, matrix_doc):
         path = write_document(matrix_doc, str(tmp_path / "BENCH_t.json"))
@@ -384,7 +385,7 @@ class TestCommittedBaseline:
 
 
 # ----------------------------------------------------------------------
-# schema v5: the serving section
+# schema v5+: the serving section
 # ----------------------------------------------------------------------
 
 def _serving_scenario(key="path-n3-r3/uniform/poisson", **counts_override):
@@ -463,6 +464,38 @@ class TestServingComparison:
         result = compare_documents(baseline, candidate)
         assert not result.ok
         assert any("shed" in err for err in result.errors)
+
+    def test_page_severity_slo_alert_fails_the_candidate(self):
+        """v6: the flight recorder's verdict is a candidate invariant —
+        pages during the clean suite fail even without a baseline."""
+        baseline = _doc_with_serving([_serving_scenario()])
+        baseline.pop("serving")
+        scenario = _serving_scenario()
+        scenario["slo"] = {
+            "page_alerts": 2, "max_severity_seen": "page",
+            "current_severity": "ok", "alerts": [],
+        }
+        candidate = _doc_with_serving([scenario])
+        result = compare_documents(baseline, candidate)
+        assert not result.ok
+        assert any("page-severity" in err for err in result.errors)
+        # warning-only burn stays informational
+        scenario["slo"] = {"page_alerts": 0, "max_severity_seen": "warning"}
+        assert compare_documents(baseline, _doc_with_serving([scenario])).ok
+
+    def test_server_latency_feeds_informational_scalars(self):
+        scenario = _serving_scenario()
+        scenario["server_latency_ms"] = {
+            "request": {"p50": 1.0, "p99": 2.0},
+            "queue_wait": {"p50": 0.1, "p99": 0.4},
+            "consistent": True,
+        }
+        doc = _doc_with_serving([scenario])
+        result = compare_documents(doc, doc)
+        assert result.ok
+        metrics = {d.metric for d in result.deltas}
+        assert "serving.server_request_ms.p99" in metrics
+        assert "serving.server_queue_wait_ms.p50" in metrics
 
     def test_missing_and_new_scenarios(self):
         s1 = _serving_scenario()

@@ -1,0 +1,248 @@
+"""Tests for the flight-recorder dashboards and their HTTP plumbing.
+
+Covers :func:`panel_series` derivations, the terminal renderer (alert
+badges, relative event times, sparkline panels, the queue table), the
+standalone HTML dashboard (SVG sparklines, meta refresh, palette tokens,
+escaping), the ``/dashboard`` / ``/alerts.json`` / ``/tsdb.json`` routes on
+a live :class:`MetricsServer`, the ``fetch_dashboard_inputs`` round trip,
+and the ``repro dash`` CLI in demo and ``--html`` modes.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.observability.dashboard import (
+    dashboard_html,
+    fetch_dashboard_inputs,
+    flight_recorder_routes,
+    panel_series,
+    render_dashboard,
+)
+from repro.observability.httpexpo import MetricsServer
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.slo import SLOEvaluator, default_serve_slos
+from repro.observability.tsdb import TimeSeriesStore
+
+
+def _recorder() -> tuple[MetricsRegistry, TimeSeriesStore]:
+    """A store over serve-shaped metrics with a few deterministic ticks."""
+    registry = MetricsRegistry()
+    requests = registry.counter("repro_serve_requests_total")
+    sheds = registry.counter("repro_serve_rejections_total")
+    depth = registry.gauge("repro_serve_queue_depth")
+    lat = registry.histogram("repro_serve_request_seconds", buckets=(0.05, 0.25, 1.0))
+    wait = registry.histogram("repro_serve_queue_wait_seconds", buckets=(0.05, 0.25, 1.0))
+    store = TimeSeriesStore(registry, interval_s=1.0, clock=lambda: 0.0)
+    store.tick(now=0.0)
+    for t in range(1, 5):
+        requests.inc(20, cell="path(3)-n3-r3")
+        sheds.inc(1, cell="path(3)-n3-r3", reason="queue_full")
+        depth.set(float(t), cell="path(3)-n3-r3")
+        for _ in range(5):
+            lat.observe(0.02, cell="path(3)-n3-r3")
+            wait.observe(0.01, cell="path(3)-n3-r3")
+        lat.observe(0.4, cell="path(3)-n3-r3")
+        store.tick(now=float(t))
+    return registry, store
+
+
+_QUEUES = {
+    "path(3)-n3-r3": {
+        "depth": 3, "peak_depth": 9, "completed": 80, "rejected": 4,
+        "errors": 0, "p50_ms": 1.2, "p99_ms": 8.5,
+        "queue_wait_p50_ms": 0.4, "queue_wait_p99_ms": 2.75,
+    }
+}
+
+
+def _alerts_doc(store: TimeSeriesStore) -> dict:
+    evaluator = SLOEvaluator(store, list(default_serve_slos(window_scale=0.05)))
+    evaluator.evaluate(store.last_tick)
+    return evaluator.snapshot(store.last_tick)
+
+
+class TestPanelSeries:
+    def test_panels_cover_the_five_serving_signals(self):
+        _, store = _recorder()
+        panels = panel_series(store)
+        assert [p["label"] for p in panels] == [
+            "requests/s", "sheds/s", "queue depth", "request p99", "queue-wait p99",
+        ]
+        by_label = {p["label"]: p for p in panels}
+        # 20 req/s sampled every 1s
+        assert by_label["requests/s"]["values"][-1] == pytest.approx(20.0)
+        assert by_label["queue depth"]["last"] == pytest.approx(4.0)
+        # p99 panels are displayed in milliseconds
+        assert by_label["request p99"]["unit"] == "ms"
+        assert 250.0 < by_label["request p99"]["last"] <= 1000.0
+
+    def test_empty_store_yields_empty_panels(self):
+        registry = MetricsRegistry()
+        store = TimeSeriesStore(registry, clock=lambda: 0.0)
+        for panel in panel_series(store):
+            assert panel["values"] == [] and panel["last"] is None
+
+
+class TestTerminalRenderer:
+    def test_renders_panels_alerts_and_queues(self):
+        _, store = _recorder()
+        text = render_dashboard(
+            store, alerts=_alerts_doc(store), queues=_QUEUES, window_s=60.0
+        )
+        assert "flight recorder - 5 samples @ 1s, window 60s" in text
+        assert "alerts:" in text and "serve-availability" in text
+        assert "requests/s" in text and "queue-wait p99" in text
+        assert "path(3)-n3-r3" in text
+        assert "2.8" in text  # queue_wait_p99_ms, 1-digit formatting
+
+    def test_event_times_render_relative_to_the_snapshot(self):
+        _, store = _recorder()
+        alerts = _alerts_doc(store)
+        alerts["alerts"][0]["events"] = [
+            {"kind": "firing", "from": "ok", "to": "page", "time": store.last_tick - 2.5}
+        ]
+        text = render_dashboard(store, alerts=alerts)
+        assert "-2.50s" in text
+        assert "t=" not in text.split("panels:")[0]
+
+    def test_alert_free_render_needs_no_alert_doc(self):
+        _, store = _recorder()
+        text = render_dashboard(store)
+        assert "alerts:" not in text and "panels:" in text
+
+
+class TestHtmlRenderer:
+    def test_page_structure_and_palette(self):
+        _, store = _recorder()
+        page = dashboard_html(store, alerts=_alerts_doc(store), queues=_QUEUES)
+        assert page.startswith("<!DOCTYPE html>")
+        assert '<meta http-equiv="refresh" content="2">' in page
+        assert page.count("<svg") == 5  # one sparkline per panel
+        assert "<polyline" in page and "var(--series-1)" in page
+        assert 'class="viz-root"' in page
+        assert "prefers-color-scheme: dark" in page  # selected dark mode
+        assert "serve-availability" in page
+        assert "<table>" in page and "path(3)-n3-r3" in page
+
+    def test_no_refresh_when_disabled(self):
+        _, store = _recorder()
+        page = dashboard_html(store, refresh_s=None)
+        assert "http-equiv" not in page
+
+    def test_titles_are_escaped(self):
+        _, store = _recorder()
+        page = dashboard_html(store, title="<script>alert(1)</script>")
+        assert "<script>" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_empty_panels_render_a_no_data_svg(self):
+        registry = MetricsRegistry()
+        store = TimeSeriesStore(registry, clock=lambda: 0.0)
+        page = dashboard_html(store)
+        assert 'aria-label="no data"' in page
+
+
+class TestRoutes:
+    @pytest.fixture()
+    def server(self):
+        registry, store = _recorder()
+        evaluator = SLOEvaluator(store, list(default_serve_slos(window_scale=0.05)))
+        routes = flight_recorder_routes(
+            store, evaluator, queues_fn=lambda: _QUEUES, max_points=3
+        )
+        server = MetricsServer(registry, handlers=routes)
+        server.start()
+        try:
+            yield server
+        finally:
+            server.stop()
+
+    @staticmethod
+    def _get(server: MetricsServer, path: str) -> tuple[int, str, bytes]:
+        try:
+            with urllib.request.urlopen(server.url(path), timeout=5.0) as resp:
+                return resp.status, resp.headers.get("Content-Type", ""), resp.read()
+        except urllib.error.HTTPError as err:
+            return err.code, err.headers.get("Content-Type", ""), err.read()
+
+    def test_tsdb_json_is_downsampled_and_rebuildable(self, server):
+        status, ctype, body = self._get(server, "/tsdb.json")
+        assert status == 200 and ctype.startswith("application/json")
+        doc = json.loads(body)
+        clone = TimeSeriesStore.from_json(doc)
+        assert clone.series_names()
+        assert all(len(s["points"]) <= 3 for s in doc["series"])
+
+    def test_alerts_json_reevaluates_per_request(self, server):
+        status, _ctype, body = self._get(server, "/alerts.json")
+        assert status == 200
+        doc = json.loads(body)
+        assert [a["spec"]["name"] for a in doc["alerts"]] == [
+            s.name for s in default_serve_slos()
+        ]
+
+    def test_dashboard_serves_html(self, server):
+        status, ctype, body = self._get(server, "/dashboard")
+        assert status == 200 and ctype.startswith("text/html")
+        text = body.decode()
+        assert "<svg" in text and "serve-availability" in text
+
+    def test_fetch_dashboard_inputs_round_trip(self, server):
+        store, alerts, queues = fetch_dashboard_inputs(server.url(""))
+        assert store.registry is None  # detached, query-only
+        assert store.series_names()
+        assert alerts is not None and alerts["severities"]
+        assert queues is None  # this server mounts no /queues.json
+        # and the fetched inputs render
+        assert "panels:" in render_dashboard(store, alerts=alerts)
+
+    def test_alerts_404_without_an_evaluator(self):
+        registry, store = _recorder()
+        server = MetricsServer(registry, handlers=flight_recorder_routes(store))
+        server.start()
+        try:
+            status, _ctype, body = self._get(server, "/alerts.json")
+            assert status == 404 and b"no SLO evaluator" in body
+        finally:
+            server.stop()
+
+
+class TestDashCli:
+    def test_demo_mode_prints_a_dashboard(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "dash", "--requests", "40", "--rate", "2000", "--seed", "7",
+            "--window", "30",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "flight recorder" in out and "panels:" in out
+        assert "alerts:" in out and "queues:" in out
+
+    def test_html_flag_writes_the_page(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "dash.html"
+        rc = main([
+            "dash", "--requests", "40", "--rate", "2000", "--seed", "7",
+            "--html", str(out_path),
+        ])
+        capsys.readouterr()
+        assert rc == 0
+        page = out_path.read_text()
+        assert page.startswith("<!DOCTYPE html>") and "<svg" in page
+        assert "http-equiv" not in page  # a written file must not self-refresh
+
+    def test_unreachable_target_fails_cleanly(self, capsys):
+        from repro.cli import main
+
+        rc = main(["dash", "--target", "http://127.0.0.1:9/"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "cannot fetch" in err

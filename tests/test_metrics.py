@@ -374,3 +374,58 @@ class TestThreadSafety:
         for name, snap in all_cache_stats().items():
             assert hits.value(cache=name) == snap["hits"], name
             assert misses.value(cache=name) == snap["misses"], name
+
+
+class TestSamplerConcurrency:
+    """Satellite: the flight recorder's sampler thread must never torn-read.
+
+    A histogram observation updates count, sum and one bucket; the tsdb
+    sampler snapshots all three via ``raw_samples()``.  With worker threads
+    hammering a shared histogram while the sampler ticks at full speed,
+    every sampled tuple must stay internally consistent (bucket counts sum
+    to the observation count) and every per-series sequence monotone.
+    """
+
+    def test_sampler_never_tears_a_histogram_under_load(self):
+        import threading
+
+        from repro.observability.tsdb import TimeSeriesStore
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("t_seconds", "test", buckets=(0.01, 0.1, 1.0))
+        counter = registry.counter("t_total", "test")
+        store = TimeSeriesStore(registry, interval_s=1.0, capacity=4096,
+                                clock=lambda: 0.0)
+        ticks = 0
+
+        def hammer(worker: int) -> None:
+            values = (0.005, 0.05, 0.5, 2.0)
+            for i in range(4000):
+                hist.observe(values[i % 4], cell="shared")
+                counter.inc(cell="shared", worker=str(worker))
+
+        workers = [threading.Thread(target=hammer, args=(w,)) for w in range(4)]
+        for t in workers:
+            t.start()
+        # tick as fast as possible for the whole duration of the hammering
+        while any(t.is_alive() for t in workers):
+            store.tick(now=float(ticks))
+            ticks += 1
+        for t in workers:
+            t.join()
+        store.tick(now=float(ticks))
+
+        key = ("t_seconds", (("cell", "shared"),))
+        samples = list(store._series[key].points)
+        assert len(samples) >= 2
+        prev_count = 0
+        for _t, count, _total, bucket_counts in samples:
+            # internal consistency: never a torn read across the lock
+            assert sum(bucket_counts) == count
+            # counts only ever grow
+            assert count >= prev_count
+            prev_count = count
+        # the final sample saw every observation
+        assert prev_count == 4 * 4000
+        assert store.latest("t_total", cell="shared") is not None
+        assert store.increase("t_total", window_s=float(ticks + 1), now=float(ticks)) > 0

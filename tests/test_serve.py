@@ -525,3 +525,131 @@ class TestServeCli:
         assert args.max_batch == 16 and args.port == 0
         args = build_parser().parse_args(["loadgen", "--arrivals", "burst"])
         assert args.arrivals == "burst"
+
+
+class TestHealthEndpoints:
+    """Satellite: liveness (`/healthz`) vs readiness (`/readyz`) split."""
+
+    def test_live_server_is_healthy_and_ready(self, live_server):
+        for path, expect in (("/healthz", b"ok"), ("/readyz", b"ok")):
+            with urllib.request.urlopen(live_server["url"] + path, timeout=5.0) as resp:
+                assert resp.status == 200
+                assert resp.read().strip() == expect
+
+    def test_shutdown_flips_readyz_but_not_healthz(self):
+        """During drain the process is alive (liveness 200) but must be
+        pulled from rotation (readiness 503 with the reason)."""
+        import threading
+
+        box: dict = {}
+        started = threading.Event()
+        drained = threading.Event()
+        done = threading.Event()
+
+        async def amain():
+            service = SortService(ServiceConfig(max_delay_ms=1.0))
+            await service.__aenter__()
+            loop = asyncio.get_running_loop()
+            server = build_sort_server(service, loop)
+            server.start()
+            box["url"] = server.url("")
+            started.set()
+            await asyncio.get_running_loop().run_in_executor(None, drained.wait)
+            await service.__aexit__(None, None, None)
+            box["closed"] = True
+            done.set()
+            await asyncio.get_running_loop().run_in_executor(None, box["stop"].wait)
+            server.stop()
+
+        box["stop"] = threading.Event()
+        thread = threading.Thread(target=lambda: asyncio.run(amain()), daemon=True)
+        thread.start()
+        assert started.wait(timeout=30.0)
+
+        def get(path):
+            try:
+                with urllib.request.urlopen(box["url"] + path, timeout=5.0) as resp:
+                    return resp.status, resp.read()
+            except urllib.error.HTTPError as err:
+                return err.code, err.read()
+
+        assert get("/readyz")[0] == 200
+        drained.set()
+        assert done.wait(timeout=30.0)
+        status, body = get("/readyz")
+        assert status == 503 and b"shutting down" in body
+        # liveness is about the process, not the service: still 200
+        assert get("/healthz")[0] == 200
+        box["stop"].set()
+        thread.join(timeout=10.0)
+
+
+class TestServerSideLatency:
+    """Satellite: loadgen surfaces the server's own latency histograms."""
+
+    def test_clean_run_reports_consistent_server_percentiles(self):
+        doc = run_loadgen(
+            LoadScenario(requests=40, rate=2000.0),
+            config=ServiceConfig(max_batch=16, max_delay_ms=1.0),
+        )
+        srv = doc["server_latency_ms"]
+        assert set(srv["request"]) == {"p50", "p99"}
+        assert set(srv["queue_wait"]) == {"p50", "p99"}
+        assert 0 < srv["request"]["p50"] <= srv["request"]["p99"]
+        # fresh registry + zero errors: the server-vs-client invariant holds
+        assert srv["consistent"] is True
+        # the invariant compares like with like: both sides bucketed
+        assert srv["request"]["p99"] <= srv["client_bucketed"]["p99"] + 1e-9
+
+    def test_queues_snapshot_carries_queue_wait_percentiles(self, rng):
+        async def scenario():
+            async with SortService(ServiceConfig(max_delay_ms=0.5)) as service:
+                keys = rng.integers(0, 1000, WIDTH)
+                await service.submit(CELL, keys.astype(np.int64))
+                return service.queues_snapshot()
+
+        snap = _run(scenario())
+        q = snap["path(3)-n3-r3"]
+        assert q["queue_wait_p50_ms"] is not None
+        assert q["queue_wait_p99_ms"] >= q["queue_wait_p50_ms"]
+
+    def test_shared_registry_disables_the_invariant(self):
+        """A reused registry carries older samples, so the server-vs-client
+        comparison is reported but not asserted (consistent is None)."""
+        registry = MetricsRegistry()
+        run_loadgen(LoadScenario(requests=10, rate=2000.0), registry=registry)
+        doc = run_loadgen(LoadScenario(requests=10, rate=2000.0), registry=registry)
+        assert doc["server_latency_ms"]["consistent"] is None
+
+
+class TestServeSloCli:
+    """CLI wiring for the flight recorder (`--slo` on serve and loadgen)."""
+
+    def test_loadgen_slo_flag_prints_the_slo_line(self, capsys):
+        assert main(["loadgen", "--requests", "20", "--rate", "4000", "--slo"]) == 0
+        out = capsys.readouterr().out
+        assert "slo: severity=ok" in out
+        assert "server[path(3)-n3-r3]" in out
+        assert "server p99 <= client p99: yes" in out
+
+    def test_loadgen_slo_json_carries_the_snapshot(self, capsys):
+        assert main(
+            ["loadgen", "--requests", "20", "--rate", "4000", "--slo", "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["slo"]["page_alerts"] == 0
+        assert [a["spec"]["name"] for a in doc["slo"]["alerts"]] == [
+            "serve-availability", "serve-request-p99",
+            "serve-deadline-misses", "serve-queue-wait-p99",
+        ]
+
+    def test_serve_parser_accepts_slo_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--slo", "--slo-scale", "0.5"])
+        assert args.slo is True and args.slo_scale == 0.5
+        assert build_parser().parse_args(["serve"]).slo is False
+        args = build_parser().parse_args(
+            ["dash", "--target", "http://x/", "--watch", "1.5"]
+        )
+        assert args.target == "http://x/" and args.watch == 1.5
