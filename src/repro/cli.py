@@ -472,7 +472,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     lints = tuple(selected) if selected else LINT_NAMES
     try:
         run = run_check(lints=lints, only=args.cell, seed=args.seed,
-                        compiled=args.compiled)
+                        compiled=args.compiled, optimize=args.optimize)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -484,6 +484,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(render_check(run, verbose=args.verbose))
         print(f"\nstatic check: {'ok' if run.ok else 'FAILED'} "
               f"({len(run.cells)} cells, lints: {', '.join(lints)}"
+              f"{', optimizer' if args.optimize else ''}"
               f"{', mutant harness' if run.mutants else ''})")
     return run.exit_code
 
@@ -493,7 +494,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     batches = tuple(args.batch) if args.batch else (1, 16, 256)
     try:
-        doc = profile_cell(args.cell, batches=batches, runs=args.runs, seed=args.seed)
+        doc = profile_cell(args.cell, batches=batches, runs=args.runs, seed=args.seed,
+                           optimize=args.optimize)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -553,6 +555,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_delay_ms=args.max_delay_ms,
             max_queue_depth=args.max_queue_depth,
             deadline_ms=args.deadline_ms,
+            optimize=args.optimize,
         )
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
@@ -974,6 +977,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also require the compiled batch kernel to match the reference replay",
     )
     p.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the certified optimizer pipeline per cell (per-pass deltas + "
+        "certificates + translation validation) and the seeded optimizer-fault "
+        "harness",
+    )
+    p.add_argument(
         "--cell",
         action="append",
         default=None,
@@ -1004,6 +1014,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch size to sweep (repeatable; default 1 16 256)",
     )
     p.add_argument("--runs", type=int, default=5, help="profiled runs per batch size")
+    p.add_argument(
+        "--optimize",
+        action="store_true",
+        help="profile the certified optimizer's output instead of the raw schedule",
+    )
     p.add_argument("--json", action="store_true", help="machine-readable profile document")
     p.add_argument(
         "--chrome",
@@ -1062,6 +1077,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="admission bound per queue; excess load is shed with 503")
     p.add_argument("--deadline-ms", type=float, default=None,
                    help="latency SLO; completions past it count deadline misses")
+    p.add_argument("--optimize", action="store_true",
+                   help="serve with certified-optimizer kernels (falls back to the "
+                   "unoptimized schedule per cell if a certificate fails)")
     p.add_argument("--slo", action="store_true",
                    help="install the flight recorder: background tsdb sampler + "
                    "default serving SLOs with burn-rate alerting, mounting "

@@ -16,7 +16,14 @@ every cell is one full traced sort — and snapshots, per cell:
   p50/p99 run latency, keys/s and per-layer occupancy summary from the
   :class:`~repro.observability.kernelprof.KernelProfiler` — layer/op counts
   structural, the rest informational,
-* wall time (informational; never a pass/fail signal by default), and
+* wall time (informational; never a pass/fail signal by default),
+* an always-on ``optimize`` block (schema v7): the certified optimizer
+  pipeline (:func:`repro.schedule.optimize.optimize_schedule`) run over the
+  cell's emitted schedule — both schedule hashes, per-pass certificate
+  verdicts, translation-validation status, the remaining op/round/layer
+  counts (zero-tolerance structural gates) and the removed counts plus the
+  optimized-vs-baseline compiled speedup (informational); a fallback or a
+  failed validation on a canonical cell fails the candidate outright, and
 * with ``--serving`` (schema v6) a top-level ``serving`` section: the
   canonical :mod:`repro.serve` load-generation suite — per scenario the
   structural counts (offered / completed / rejected / mismatches / errors)
@@ -82,8 +89,14 @@ __all__ = [
 #: v6: serving scenarios run under the flight recorder — each carries an
 #: ``slo`` alert snapshot and a ``server_latency_ms`` server-vs-client
 #: section, and a page-severity alert during the canonical (below-capacity)
-#: suite fails the candidate outright, baseline or not)
-SCHEMA_VERSION = 6
+#: suite fails the candidate outright, baseline or not;
+#: v7: every cell carries an ``optimize`` block — the certified optimizer's
+#: optimized schedule hash, per-pass certificates, translation-validation
+#: verdict and remaining/removed op counts; remaining counts are gated at
+#: zero tolerance, removed counts and the optimized-kernel speedup stay
+#: informational, and an optimizer fallback or failed validation on a
+#: canonical cell is a hard candidate error)
+SCHEMA_VERSION = 7
 
 #: profiled runs behind each ``profile`` block's percentiles
 PROFILE_RUNS = 9
@@ -245,6 +258,79 @@ def run_cell(
     if compiled_batch and cell.backend == "lattice":
         record["compiled"] = _compiled_record(sorter, compiled_batch, rng)
         record["profile"] = _profile_record(sorter, compiled_batch, rng)
+    record["optimize"] = _optimize_record(
+        sorter, factor, cell, s2_model, routing_model, seed, compiled_batch, rng
+    )
+    return record
+
+
+def _optimize_record(
+    sorter,
+    factor,
+    cell: WorkloadCell,
+    s2_model: int | None,
+    routing_model: int | None,
+    seed: int,
+    compiled_batch: int | None,
+    rng,
+) -> dict[str, Any]:
+    """Run the certified optimizer over the cell's emitted schedule (v7).
+
+    Every pass must produce a passing :class:`OptimizationCertificate` and
+    the translation validator must prove optimized ≡ original, so the
+    recorded counts always describe a schedule that provably still sorts.
+    The remaining comparator/block-sort/round/layer counts are structural
+    (zero-tolerance in :data:`DEFAULT_THRESHOLDS`); the removed counts and
+    the optimized-vs-baseline compiled speedup (lattice cells run with a
+    batch) are informational, where larger is better.
+    """
+    from ..graphs.product import ProductGraph
+    from ..schedule import compile_schedule, optimize_schedule, snake_order_nodes
+
+    dag = sorter.schedule()
+    result = optimize_schedule(
+        dag,
+        validate=True,
+        network=ProductGraph(factor, cell.r),
+        s2_model_rounds=s2_model,
+        routing_model_rounds=routing_model,
+        seed=seed,
+    )
+    opt = result.optimized
+    baseline_kernel = compile_schedule(dag)
+    optimized_kernel = compile_schedule(dag, optimize=True)
+    record: dict[str, Any] = {
+        "optimized_schedule_hash": result.optimized_hash,
+        "fell_back": bool(result.fell_back),
+        "validated": bool(result.validation.ok) if result.validation else False,
+        "certificates": {c.pass_name: bool(c.ok) for c in result.certificates},
+        "comparators": opt.comparator_count,
+        "block_sorts": opt.block_sort_count,
+        "rounds": len(opt.rounds),
+        "layers": optimized_kernel.num_layers,
+        "baseline_layers": baseline_kernel.num_layers,
+        "comparators_removed": result.comparators_removed,
+        "rounds_removed": result.rounds_removed,
+    }
+    if compiled_batch and cell.backend == "lattice":
+        keys = rng.integers(0, 2**31, size=(int(compiled_batch), dag.num_nodes))
+        t0 = time.perf_counter()
+        baseline_out = baseline_kernel.run(keys)
+        baseline_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        optimized_out = optimized_kernel.run(keys)
+        optimized_wall = time.perf_counter() - t0
+        snake = snake_order_nodes(dag.n, dag.r)
+        expected = np.empty_like(keys)
+        expected[:, snake] = np.sort(keys, axis=1)
+        record["batch"] = int(compiled_batch)
+        record["matches"] = bool(
+            np.array_equal(optimized_out, expected)
+            and np.array_equal(baseline_out, expected)
+        )
+        record["speedup"] = (
+            baseline_wall / optimized_wall if optimized_wall > 0 else float("inf")
+        )
     return record
 
 
@@ -499,6 +585,20 @@ DEFAULT_THRESHOLDS: dict[str, float | None] = {
     "profile.keys_per_s": None,
     "profile.mean_occupancy": None,
     "profile.max_occupancy": None,
+    # optimize block (v7): the remaining op/round/layer counts after the
+    # certified pipeline are structural — the passes are deterministic, so
+    # any increase means the optimizer got weaker; the removed counts and
+    # the kernel speedup are the same facts seen from the other side
+    # (higher is better) and stay informational
+    "optimize.comparators": 0.0,
+    "optimize.block_sorts": 0.0,
+    "optimize.rounds": 0.0,
+    "optimize.layers": 0.0,
+    "optimize.baseline_layers": 0.0,
+    "optimize.comparators_removed": None,
+    "optimize.rounds_removed": None,
+    "optimize.batch": None,
+    "optimize.speedup": None,
     # serving scenarios (v5+): structural counts are compared for *exact*
     # equality in compare_documents (zero tolerance, handled outside the
     # threshold machinery); everything wall-clock stays informational
@@ -527,7 +627,7 @@ SERVING_STRUCTURAL_COUNTS = ("offered", "completed", "rejected", "mismatches", "
 def _comparable_metrics(cell: dict[str, Any]) -> dict[str, float]:
     """A cell's ``metrics`` dict plus flattened block scalars."""
     out: dict[str, float] = dict(cell.get("metrics", {}))
-    for block in ("topology", "compiled", "profile"):
+    for block in ("topology", "compiled", "profile", "optimize"):
         for key, value in (cell.get(block) or {}).items():
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 continue
@@ -539,6 +639,9 @@ def _comparable_metrics(cell: dict[str, Any]) -> dict[str, float]:
 #: the improved/"=" arrows flip direction for these
 HIGHER_IS_BETTER = frozenset({
     "compiled.speedup",
+    "optimize.comparators_removed",
+    "optimize.rounds_removed",
+    "optimize.speedup",
     "profile.keys_per_s",
     "profile.mean_occupancy",
     "profile.max_occupancy",
@@ -666,6 +769,30 @@ def compare_documents(
                 f"cell {key}: compiled kernel output diverges from the "
                 "interpreted path / snake ground truth"
             )
+        optimize = cand.get("optimize")
+        if optimize is not None:
+            # candidate invariants (v7), baseline or not: every canonical
+            # cell must optimize with passing certificates and a proven
+            # translation — a fallback means a pass broke
+            if optimize.get("fell_back", False):
+                failed = [
+                    name
+                    for name, ok in (optimize.get("certificates") or {}).items()
+                    if not ok
+                ]
+                result.errors.append(
+                    f"cell {key}: optimizer fell back to the unoptimized "
+                    f"schedule (failed: {', '.join(failed) or 'translation validation'})"
+                )
+            elif not optimize.get("validated", True):
+                result.errors.append(
+                    f"cell {key}: optimizer translation validation failed"
+                )
+            if not optimize.get("matches", True):
+                result.errors.append(
+                    f"cell {key}: optimized kernel output diverges from the "
+                    "snake ground truth"
+                )
         base = base_cells.get(key)
         if base is None:
             continue
@@ -674,6 +801,14 @@ def compare_documents(
             result.errors.append(
                 f"cell {key}: schedule hash drift {base_hash[:12]} -> "
                 f"{cand_hash[:12]} — the emitted schedule changed"
+            )
+        base_opt_hash = (base.get("optimize") or {}).get("optimized_schedule_hash")
+        cand_opt_hash = (cand.get("optimize") or {}).get("optimized_schedule_hash")
+        if base_opt_hash and cand_opt_hash and base_opt_hash != cand_opt_hash:
+            result.errors.append(
+                f"cell {key}: optimized schedule hash drift "
+                f"{base_opt_hash[:12]} -> {cand_opt_hash[:12]} — the "
+                "optimizer's output changed"
             )
         cand_metrics = _comparable_metrics(cand)
         base_metrics = _comparable_metrics(base)

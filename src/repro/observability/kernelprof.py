@@ -388,8 +388,13 @@ def profile_cell(
     runs: int = 5,
     seed: int = 0,
     profiler: KernelProfiler | None = None,
+    optimize: bool = False,
 ) -> dict[str, Any]:
     """Profile one benchreg cell's kernel across a batch-size sweep.
+
+    ``optimize=True`` profiles the certified optimizer's output instead of
+    the raw emitted schedule (still verified against the snake ground
+    truth); the document records both hashes so the win is attributable.
 
     Both plans (packed ASAP layers and the faithful per-round plan) are
     profiled ``runs`` times per batch size; every profiled output is checked
@@ -414,12 +419,15 @@ def profile_cell(
         "r": dag.r,
         "num_nodes": dag.num_nodes,
         "schedule_hash": dag.schedule_hash(),
+        "optimize": optimize,
         "seed": seed,
         "runs": runs,
         "plans": [],
     }
     for packed in (True, False):
-        kernel = compile_schedule(dag, packed=packed)
+        kernel = compile_schedule(dag, packed=packed, optimize=optimize)
+        if optimize:
+            doc["optimized_schedule_hash"] = kernel.schedule_hash
         plan: dict[str, Any] = {
             "plan": "packed" if packed else "per-round",
             "packed": packed,

@@ -17,6 +17,13 @@ reproduce it.  See ``docs/schedule-ir.md`` for the architecture.
 
 from typing import Any
 
+from .activity import (
+    ActivityTracker,
+    ZeroOneActivity,
+    analyze_zero_one_activity,
+    apply_zero_one_round,
+    exhaustive_zero_one_states,
+)
 from .compiled import (
     CompiledSchedule,
     ScheduleLayer,
@@ -44,20 +51,43 @@ from .ir import (
     replay,
     snake_order_nodes,
 )
+from .optimize import (
+    PASS_NAMES,
+    OptimizationCertificate,
+    OptimizationResult,
+    agglomerate_chains,
+    clear_optimizer_cache,
+    eliminate_dead_ops,
+    optimize_schedule,
+    repack_rounds,
+)
 
 __all__ = [
+    "ActivityTracker",
     "BlockSortOp",
     "ComparatorDAG",
     "ComparatorOp",
     "CompiledSchedule",
     "EmittedMachineSchedule",
+    "OptimizationCertificate",
+    "OptimizationResult",
+    "PASS_NAMES",
     "ScheduleLayer",
     "SchedulePhase",
     "ScheduleRound",
     "SpanInstr",
+    "ZeroOneActivity",
+    "agglomerate_chains",
+    "analyze_zero_one_activity",
+    "apply_zero_one_round",
     "cache_stats",
     "clear_caches",
+    "clear_optimizer_cache",
     "compile_schedule",
+    "eliminate_dead_ops",
+    "exhaustive_zero_one_states",
+    "optimize_schedule",
+    "repack_rounds",
     "emit_lattice_schedule",
     "emit_machine_schedule",
     "get_profiler",
@@ -73,12 +103,14 @@ __all__ = [
 def clear_caches() -> None:
     """Drop every memoised schedule artifact and reset all cache statistics.
 
-    Covers the compiled-kernel cache and both emission caches — the
-    test-isolation hook the ``schedule_caches`` fixture uses, and the knob
-    for long-lived processes that want to bound memory.
+    Covers the compiled-kernel cache, both emission caches and the
+    optimizer's result cache — the test-isolation hook the
+    ``schedule_caches`` fixture uses, and the knob for long-lived processes
+    that want to bound memory.
     """
     clear_kernel_cache()
     clear_emission_caches()
+    clear_optimizer_cache()
 
 
 def cache_stats() -> dict[str, dict[str, Any]]:

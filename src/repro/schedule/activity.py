@@ -1,0 +1,269 @@
+"""Standalone 0-1 activity dataflow analysis over a :class:`ComparatorDAG`.
+
+This is the reusable core behind the zero-one lint's dead-comparator
+advisories (see :func:`repro.staticcheck.lints.lint_zero_one`) and the
+optimizer's dead-op elimination pass (:mod:`repro.schedule.optimize`): it
+simulates the schedule over the complete 0-1 input space and records, per
+operation, whether the operation ever moved a key.
+
+The soundness argument is the zero-one principle's threshold projection
+(Lemma 2): if a comparator exchanges two keys ``a > b`` on *any* real input,
+project the input through the threshold ``t`` with ``b < t <= a``.  Min/max
+commute with monotone projections, so the projected 0-1 input reaches the
+comparator's round with the same inversion and the comparator exchanges
+there too.  Contrapositively, an operation that never moves a key on any
+certified 0-1 input is inert on **every** input — deleting it cannot change
+the computed function.  The analysis therefore only reports dead sets when
+it also certified sortedness over the same state space (``certified``);
+an unverifiable schedule yields no dead sets at all.
+
+Two state spaces are supported, mirroring the zero-one lint exactly:
+
+* **exhaustive** — all ``2**num_nodes`` inputs for small networks;
+* **factored** — the initial block-sort prefix is simulated per
+  node-disjoint ``PG_2`` block over all ``2**(N**2)`` inputs, after which a
+  sorted 0-1 block is characterised by its zero count alone, so the suffix
+  runs over all ``(N**2+1)**blocks`` reachable states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..orders.gray import rank_lattice
+from .ir import ComparatorDAG, ScheduleRound, snake_order_nodes
+
+__all__ = [
+    "ActivityTracker",
+    "ZeroOneActivity",
+    "analyze_zero_one_activity",
+    "apply_zero_one_round",
+    "exhaustive_zero_one_states",
+]
+
+
+class ActivityTracker:
+    """Tracks which operations ever moved a key during 0-1 simulation.
+
+    Keys are ``(round_index, op_index)`` pairs into the round's comparator
+    and block-sort tuples respectively; a value of ``True`` means the
+    operation exchanged/permuted keys on at least one simulated input.
+    """
+
+    __slots__ = ("comparators", "block_sorts")
+
+    def __init__(self, rounds: Iterable[ScheduleRound]) -> None:
+        rounds = list(rounds)
+        self.comparators = {
+            (rd.index, i): False for rd in rounds for i in range(len(rd.comparators))
+        }
+        self.block_sorts = {
+            (rd.index, i): False for rd in rounds for i in range(len(rd.block_sorts))
+        }
+
+    def dead(self) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        """``(dead_comparators, dead_block_sorts)`` as sorted key lists."""
+        return (
+            sorted(k for k, live in self.comparators.items() if not live),
+            sorted(k for k, live in self.block_sorts.items() if not live),
+        )
+
+
+def apply_zero_one_round(
+    states: np.ndarray,
+    rd: ScheduleRound,
+    activity: ActivityTracker | None,
+    offset: int = 0,
+    cmp_filter: set[int] | None = None,
+    blk_filter: set[int] | None = None,
+) -> None:
+    """Apply one round to 0-1 state rows, recording op activity.
+
+    ``offset`` plus the filters support block-local simulation: node indices
+    are shifted by ``-offset`` and only the comparator/block-sort positions in
+    the respective filter (when given) are applied.
+    """
+    for i, op in enumerate(rd.comparators):
+        if cmp_filter is not None and i not in cmp_filter:
+            continue
+        lo = states[:, op.lo - offset].copy()
+        hi = states[:, op.hi - offset].copy()
+        swapped = lo > hi
+        if swapped.any():
+            if activity is not None:
+                activity.comparators[(rd.index, i)] = True
+            states[:, op.lo - offset] = np.minimum(lo, hi)
+            states[:, op.hi - offset] = np.maximum(lo, hi)
+    for i, blk in enumerate(rd.block_sorts):
+        if blk_filter is not None and i not in blk_filter:
+            continue
+        nodes = np.asarray(blk.nodes, dtype=np.intp) - offset
+        sub = states[:, nodes]
+        target = np.sort(sub, axis=1)
+        if blk.descending:
+            target = target[:, ::-1]
+        if activity is not None and (sub != target).any():
+            activity.block_sorts[(rd.index, i)] = True
+        states[:, nodes] = target
+
+
+def exhaustive_zero_one_states(num_nodes: int) -> np.ndarray:
+    """All ``2**num_nodes`` 0-1 assignments as int8 rows."""
+    bits = np.arange(1 << num_nodes, dtype=np.uint32)
+    return ((bits[:, None] >> np.arange(num_nodes, dtype=np.uint32)) & 1).astype(np.int8)
+
+
+@dataclass
+class ZeroOneActivity:
+    """Outcome of one activity analysis over one DAG."""
+
+    #: ``"exhaustive"`` or ``"factored"`` (``"unverifiable"`` on failure)
+    mode: str
+    #: number of simulated full-width states (factored: suffix states)
+    states: int
+    #: the analysis also certified sortedness over its whole state space —
+    #: the precondition for the dead sets to be trustworthy
+    certified: bool
+    #: why certification failed, when it did
+    reason: str | None
+    tracker: ActivityTracker
+    #: extra counters (e.g. per-block prefix states in factored mode)
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dead_comparators(self) -> list[tuple[int, int]]:
+        """Provably inert comparators — empty unless ``certified``."""
+        return self.tracker.dead()[0] if self.certified else []
+
+    @property
+    def dead_block_sorts(self) -> list[tuple[int, int]]:
+        """Provably redundant block sorts — empty unless ``certified``."""
+        return self.tracker.dead()[1] if self.certified else []
+
+
+def _failed(dag: ComparatorDAG, mode: str, reason: str) -> ZeroOneActivity:
+    return ZeroOneActivity(
+        mode=mode,
+        states=0,
+        certified=False,
+        reason=reason,
+        tracker=ActivityTracker(dag.rounds),
+    )
+
+
+def analyze_zero_one_activity(
+    dag: ComparatorDAG,
+    max_exhaustive_nodes: int = 16,
+    max_states: int = 700_000,
+) -> ZeroOneActivity:
+    """Simulate the full 0-1 space, certify sortedness, record op activity."""
+    n, r, num_nodes = dag.n, dag.r, dag.num_nodes
+    snake = snake_order_nodes(n, r)
+    tracker = ActivityTracker(dag.rounds)
+
+    def snake_sorted(states: np.ndarray) -> bool:
+        seq = states[:, snake]
+        return bool(np.all(seq[:, :-1] <= seq[:, 1:]))
+
+    if num_nodes <= max_exhaustive_nodes:
+        states = exhaustive_zero_one_states(num_nodes)
+        for rd in dag.rounds:
+            apply_zero_one_round(states, rd, tracker)
+        ok = snake_sorted(states)
+        return ZeroOneActivity(
+            mode="exhaustive",
+            states=int(states.shape[0]),
+            certified=ok,
+            reason=None if ok else "a 0-1 input leaves the snake sequence unsorted",
+            tracker=tracker,
+        )
+
+    # factored prefix/suffix scheme (see lint_zero_one for the soundness
+    # argument; the preconditions mirror _factored_zero_one exactly)
+    bs = n * n
+    nblocks = num_nodes // bs
+    if r < 3:
+        return _failed(
+            dag,
+            "unverifiable",
+            f"cannot factor an r={r} schedule and {num_nodes} nodes exceed "
+            f"the exhaustive budget",
+        )
+    prefix = [rd for rd in dag.rounds if dag.phases[rd.phase].leaf == "initial-block-sorts"]
+    suffix = [rd for rd in dag.rounds if dag.phases[rd.phase].leaf != "initial-block-sorts"]
+    if prefix and suffix and max(rd.index for rd in prefix) > min(rd.index for rd in suffix):
+        return _failed(
+            dag, "unverifiable", "initial block-sort rounds interleave with later phases"
+        )
+
+    per_block_ops: list[dict[int, tuple[set[int], set[int]]]] = [{} for _ in range(nblocks)]
+    for rd in prefix:
+        for i, op in enumerate(rd.comparators):
+            if op.lo // bs != op.hi // bs:
+                return _failed(
+                    dag,
+                    "unverifiable",
+                    f"prefix round {rd.index}: comparator crosses PG_2 blocks "
+                    f"({op.lo}, {op.hi})",
+                )
+            per_block_ops[op.lo // bs].setdefault(rd.index, (set(), set()))[0].add(i)
+        for i, blk in enumerate(rd.block_sorts):
+            owners = {node // bs for node in blk.nodes}
+            if len(owners) != 1:
+                return _failed(
+                    dag,
+                    "unverifiable",
+                    f"prefix round {rd.index}: block sort crosses PG_2 blocks",
+                )
+            per_block_ops[owners.pop()].setdefault(rd.index, (set(), set()))[1].add(i)
+
+    total = (bs + 1) ** nblocks
+    if total > max_states:
+        return _failed(
+            dag,
+            "unverifiable",
+            f"suffix state space (N^2+1)^blocks = {total} exceeds the "
+            f"certification budget {max_states}",
+        )
+
+    snake2 = np.argsort(np.asarray(rank_lattice(n, 2)).ravel())
+    block_states = exhaustive_zero_one_states(bs)
+    prefix_by_index = {rd.index: rd for rd in prefix}
+    ok = True
+    for b in range(nblocks):
+        states = block_states.copy()
+        for rd_index in sorted(per_block_ops[b]):
+            cmp_set, blk_set = per_block_ops[b][rd_index]
+            apply_zero_one_round(
+                states,
+                prefix_by_index[rd_index],
+                tracker,
+                offset=b * bs,
+                cmp_filter=cmp_set,
+                blk_filter=blk_set,
+            )
+        seq = states[:, snake2]
+        ok = ok and bool(np.all(seq[:, :-1] <= seq[:, 1:]))
+
+    counts = np.indices((bs + 1,) * nblocks).reshape(nblocks, -1).T.astype(np.int16)
+    states = np.empty((total, num_nodes), dtype=np.int8)
+    snake_pos2 = np.empty(bs, dtype=np.int64)
+    snake_pos2[snake2] = np.arange(bs)
+    for b in range(nblocks):
+        states[:, b * bs : (b + 1) * bs] = (
+            snake_pos2[None, :] >= counts[:, b][:, None]
+        ).astype(np.int8)
+    for rd in suffix:
+        apply_zero_one_round(states, rd, tracker)
+    ok = ok and snake_sorted(states)
+    return ZeroOneActivity(
+        mode="factored",
+        states=int(total),
+        certified=ok,
+        reason=None if ok else "a reachable 0-1 state leaves the snake sequence unsorted",
+        tracker=tracker,
+        stats={"prefix_block_states": int(block_states.shape[0]) * nblocks},
+    )

@@ -78,12 +78,20 @@ class CompiledSchedule:
     """
 
     def __init__(
-        self, dag: ComparatorDAG, packed: bool = True, schedule_hash: str | None = None
+        self,
+        dag: ComparatorDAG,
+        packed: bool = True,
+        schedule_hash: str | None = None,
+        source_hash: str | None = None,
     ) -> None:
         self.num_nodes = dag.num_nodes
         # the canonical SHA-256 is expensive enough to compute exactly once:
         # compile_schedule passes the hash it already derived the cache key from
         self.schedule_hash = schedule_hash if schedule_hash is not None else dag.schedule_hash()
+        #: hash of the schedule this kernel was derived *from* — differs from
+        #: ``schedule_hash`` only for optimizer-produced kernels, where it
+        #: names the original emitted schedule
+        self.source_hash = source_hash if source_hash is not None else self.schedule_hash
         self.packed = packed
         #: benchreg-style label for profiler metrics (family-n-r, no backend:
         #: the kernel is backend-agnostic once emitted)
@@ -190,7 +198,7 @@ class CompiledSchedule:
 
 
 _KERNEL_LOCK = threading.Lock()
-_KERNELS: dict[tuple[str, bool], CompiledSchedule] = {}
+_KERNELS: dict[tuple[str, bool, bool], CompiledSchedule] = {}
 
 #: hit/miss/compile-time accounting for the kernel cache (see
 #: :mod:`repro.observability.cachestats`)
@@ -219,10 +227,21 @@ def get_profiler() -> "KernelProfiler | None":
     return _PROFILER
 
 
-def compile_schedule(dag: ComparatorDAG, packed: bool = True) -> CompiledSchedule:
-    """Compile (or fetch from the hash-keyed cache) a DAG's batch kernel."""
+def compile_schedule(
+    dag: ComparatorDAG, packed: bool = True, optimize: bool = False
+) -> CompiledSchedule:
+    """Compile (or fetch from the hash-keyed cache) a DAG's batch kernel.
+
+    ``optimize=True`` first runs the certified optimizer pipeline
+    (:func:`repro.schedule.optimize.optimize_schedule`, itself memoised by
+    the original hash) and compiles the validated optimized schedule; the
+    kernel then carries both hashes — ``source_hash`` names the original
+    emitted schedule (also the cache key), ``schedule_hash`` the optimized
+    one actually executed.  A failed certificate or validation falls back
+    to compiling the unoptimized schedule.
+    """
     schedule_hash = dag.schedule_hash()
-    key = (schedule_hash, packed)
+    key = (schedule_hash, packed, optimize)
     with _KERNEL_LOCK:
         kernel = _KERNELS.get(key)
     if kernel is not None:
@@ -231,7 +250,15 @@ def compile_schedule(dag: ComparatorDAG, packed: bool = True) -> CompiledSchedul
     # build outside the lock (compilation is pure); a racing thread may
     # build the same kernel, in which case setdefault keeps the first one
     t0 = perf_counter()
-    built = CompiledSchedule(dag, packed=packed, schedule_hash=schedule_hash)
+    target, target_hash = dag, schedule_hash
+    if optimize:
+        from .optimize import optimize_schedule
+
+        result = optimize_schedule(dag)
+        target, target_hash = result.optimized, result.optimized_hash
+    built = CompiledSchedule(
+        target, packed=packed, schedule_hash=target_hash, source_hash=schedule_hash
+    )
     KERNEL_CACHE_STATS.record_miss(perf_counter() - t0)
     with _KERNEL_LOCK:
         return _KERNELS.setdefault(key, built)

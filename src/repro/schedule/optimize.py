@@ -1,0 +1,614 @@
+"""Certified optimization passes over the Schedule IR.
+
+The pipeline rewrites an emitted :class:`ComparatorDAG` into a cheaper but
+provably equivalent schedule.  Three passes run in order:
+
+1. **dead-op elimination** (:func:`eliminate_dead_ops`) — the standalone 0-1
+   activity analysis (:mod:`repro.schedule.activity`) marks every comparator
+   and block sort that never moves a key on any certified 0-1 input; by the
+   zero-one principle's threshold argument those operations are inert on
+   *every* input, so deleting them preserves the computed function exactly.
+   The pass only fires when the analysis also certified sortedness over its
+   whole state space.
+2. **agglomeration** (:func:`agglomerate_chains`) — comparator chains that
+   span one complete ``PG_2`` block inside a single phase are collapsed into
+   one :class:`BlockSortOp` super-op (Schiller's agglomeration law): the
+   compiled kernel executes the super-op as one vectorised ``np.sort`` slab
+   instead of a round-by-round transposition network.  The replacement's
+   orientation is the unique topological order of the chain's ``lo -> hi``
+   constraints; components whose restricted 0-1 simulation provably sorts
+   are certified locally, the rest (merge networks, which only sort
+   *reachable* inputs) defer to the translation validator.
+3. **depth re-packing** (:func:`repack_rounds`) — ASAP layer scheduling
+   within each phase under a dependency-graph interference check: an op is
+   hoisted to the earliest round after the last op sharing a node with it.
+   The pass proves itself by checking that every node sees exactly the same
+   operation sequence before and after, and it conserves the per-phase
+   charge sum, so the paper's depth accounting (``S_r(N)``, Lemma 3) is
+   untouched while the physical round/layer count shrinks.
+
+Every pass emits an :class:`OptimizationCertificate`.  A failed certificate
+aborts the pipeline; :func:`optimize_schedule` then falls back to the
+unoptimized schedule (``fell_back=True``).  When ``validate=True`` (the
+default) the pipeline additionally runs the translation validator
+(:func:`repro.staticcheck.validate.validate_translation`), which proves
+``optimized == original`` as functions — 0-1 certification of the optimized
+DAG, the races/links/depth lints, and an obliviousness replay
+cross-check — and likewise falls back when validation fails.
+
+Results are memoised by the original schedule hash (see
+``optimizer_cache_stats`` under :func:`repro.schedule.cache_stats`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..observability.cachestats import CacheStats
+from ..orders.gray import gray_sequence
+from .activity import analyze_zero_one_activity, exhaustive_zero_one_states
+from .ir import BlockSortOp, ComparatorDAG, ComparatorOp, ScheduleRound
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graphs.product import ProductGraph
+    from ..staticcheck.validate import TranslationValidation
+
+__all__ = [
+    "PASS_NAMES",
+    "OptimizationCertificate",
+    "OptimizationResult",
+    "agglomerate_chains",
+    "clear_optimizer_cache",
+    "eliminate_dead_ops",
+    "optimize_schedule",
+    "repack_rounds",
+]
+
+#: the optimization passes, in pipeline order
+PASS_NAMES = ("dead-op-elimination", "agglomeration", "depth-repacking")
+
+
+@dataclass(frozen=True)
+class OptimizationCertificate:
+    """One pass's self-certification: what it removed and why that is sound."""
+
+    pass_name: str
+    ok: bool
+    #: one-line summary of the proof obligation this pass discharged (or,
+    #: on failure, why it refused to fire)
+    evidence: str
+    comparators_removed: int = 0
+    block_sorts_removed: int = 0
+    super_ops_added: int = 0
+    rounds_removed: int = 0
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "pass": self.pass_name,
+            "ok": self.ok,
+            "evidence": self.evidence,
+            "comparators_removed": self.comparators_removed,
+            "block_sorts_removed": self.block_sorts_removed,
+            "super_ops_added": self.super_ops_added,
+            "rounds_removed": self.rounds_removed,
+            "stats": dict(self.stats),
+        }
+
+    def describe(self) -> str:
+        verdict = "ok" if self.ok else "FAIL"
+        return (
+            f"{self.pass_name}: {verdict} (-{self.comparators_removed} cmp, "
+            f"-{self.block_sorts_removed} blk, +{self.super_ops_added} super, "
+            f"-{self.rounds_removed} rounds) — {self.evidence}"
+        )
+
+
+def _rebuild(
+    dag: ComparatorDAG,
+    spec: list[tuple[int, int, list[ComparatorOp], list[BlockSortOp]]],
+    pass_name: str,
+) -> ComparatorDAG:
+    """New DAG with the same phases and the given ``(phase, charge, cmp,
+    blk)`` round spec, stamping the pass into the metadata."""
+    rounds = tuple(
+        ScheduleRound(
+            index=i,
+            phase=phase,
+            charge=charge,
+            comparators=tuple(comparators),
+            block_sorts=tuple(block_sorts),
+        )
+        for i, (phase, charge, comparators, block_sorts) in enumerate(spec)
+    )
+    meta = dict(dag.meta)
+    passes = list(meta.get("optimizer_passes", ()))
+    passes.append(pass_name)
+    meta["optimizer_passes"] = passes
+    return ComparatorDAG(
+        backend=dag.backend,
+        factor=dag.factor,
+        n=dag.n,
+        r=dag.r,
+        num_nodes=dag.num_nodes,
+        phases=dag.phases,
+        rounds=rounds,
+        meta=meta,
+    )
+
+
+def _round_spec(
+    dag: ComparatorDAG,
+) -> list[tuple[int, int, list[ComparatorOp], list[BlockSortOp]]]:
+    return [
+        (rd.phase, rd.charge, list(rd.comparators), list(rd.block_sorts))
+        for rd in dag.rounds
+    ]
+
+
+# ----------------------------------------------------------------------
+# pass 1: dead-op elimination
+# ----------------------------------------------------------------------
+
+def eliminate_dead_ops(
+    dag: ComparatorDAG,
+    max_exhaustive_nodes: int = 16,
+    max_states: int = 700_000,
+) -> tuple[ComparatorDAG, OptimizationCertificate]:
+    """Delete every operation the 0-1 activity analysis proves inert."""
+    analysis = analyze_zero_one_activity(
+        dag, max_exhaustive_nodes=max_exhaustive_nodes, max_states=max_states
+    )
+    if not analysis.certified:
+        return dag, OptimizationCertificate(
+            pass_name="dead-op-elimination",
+            ok=False,
+            evidence=f"0-1 activity analysis could not certify the schedule: "
+            f"{analysis.reason}",
+            stats={"mode": analysis.mode},
+        )
+    dead_cmp = set(analysis.dead_comparators)
+    dead_blk = set(analysis.dead_block_sorts)
+    spec = []
+    for rd in dag.rounds:
+        comparators = [
+            op for i, op in enumerate(rd.comparators) if (rd.index, i) not in dead_cmp
+        ]
+        block_sorts = [
+            op for i, op in enumerate(rd.block_sorts) if (rd.index, i) not in dead_blk
+        ]
+        spec.append((rd.phase, rd.charge, comparators, block_sorts))
+    out = _rebuild(dag, spec, "dead-op-elimination") if (dead_cmp or dead_blk) else dag
+    return out, OptimizationCertificate(
+        pass_name="dead-op-elimination",
+        ok=True,
+        evidence=f"{analysis.mode} 0-1 activity over {analysis.states} states "
+        f"certified sorting; removed ops never move a key on any input "
+        f"(threshold argument)",
+        comparators_removed=len(dead_cmp),
+        block_sorts_removed=len(dead_blk),
+        stats={"mode": analysis.mode, "states": analysis.states},
+    )
+
+
+# ----------------------------------------------------------------------
+# pass 2: agglomeration into n-sorter super-ops
+# ----------------------------------------------------------------------
+
+def _chain_orientation(
+    nodes: list[int], members: list[tuple[int, int, ComparatorOp]]
+) -> list[int] | None:
+    """Unique topological order of the chain's ``lo -> hi`` constraints,
+    or ``None`` when the constraints don't induce a total order."""
+    succ: dict[int, set[int]] = {x: set() for x in nodes}
+    indeg: dict[int, int] = {x: 0 for x in nodes}
+    for _, _, op in members:
+        if op.hi not in succ[op.lo]:
+            succ[op.lo].add(op.hi)
+            indeg[op.hi] += 1
+    order: list[int] = []
+    avail = [x for x in nodes if indeg[x] == 0]
+    while avail:
+        if len(avail) != 1:
+            return None
+        x = avail.pop()
+        order.append(x)
+        for y in sorted(succ[x]):
+            indeg[y] -= 1
+            if indeg[y] == 0:
+                avail.append(y)
+    return order if len(order) == len(nodes) else None
+
+
+def _chain_sorts(
+    order: list[int], members: list[tuple[int, int, ComparatorOp]]
+) -> bool:
+    """Does the chain, alone, sort every 0-1 input into ``order``?"""
+    pos = {x: i for i, x in enumerate(order)}
+    states = exhaustive_zero_one_states(len(order))
+    for _, _, op in members:
+        lo, hi = pos[op.lo], pos[op.hi]
+        a = states[:, lo].copy()
+        b = states[:, hi].copy()
+        states[:, lo] = np.minimum(a, b)
+        states[:, hi] = np.maximum(a, b)
+    return bool(np.all(states[:, :-1] <= states[:, 1:]))
+
+
+def agglomerate_chains(dag: ComparatorDAG) -> tuple[ComparatorDAG, OptimizationCertificate]:
+    """Collapse per-phase ``PG_2`` comparator chains into block-sort super-ops.
+
+    A chain qualifies when its comparators are the *only* operations of the
+    phase touching its nodes (connected-component closure), it spans at
+    least two rounds, its node set is one complete ``PG_2`` block (``n**2``
+    nodes varying in exactly two label positions), and the ``lo -> hi``
+    constraints order that block along its canonical snake (or the exact
+    reverse, giving a descending super-op).  The replacement — one full
+    ``np.sort`` over the block — is at least as strong as the chain; chains
+    that provably sort all ``2**(n**2)`` 0-1 inputs are certified locally,
+    merge chains (which only sort the inputs that can reach them) defer to
+    the translation validator.
+    """
+    n, r = dag.n, dag.r
+    labels = np.array(np.unravel_index(np.arange(dag.num_nodes), (n,) * r)).T
+    expected_snake2 = gray_sequence(n, 2)
+    spec = _round_spec(dag)
+    dropped: set[tuple[int, int]] = set()
+    removed_cmp = 0
+    super_ops = 0
+    proved = deferred = 0
+    components: list[dict[str, Any]] = []
+    for p in dag.phases:
+        phase_rounds = [rd for rd in dag.rounds if rd.phase == p.index]
+        if len(phase_rounds) < 2 or any(rd.block_sorts for rd in phase_rounds):
+            continue
+        # union-find over the nodes the phase's comparators touch
+        parent: dict[int, int] = {}
+
+        def find(x: int) -> int:
+            while parent.setdefault(x, x) != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        members_all: list[tuple[int, int, ComparatorOp]] = []
+        for rd in phase_rounds:
+            for i, op in enumerate(rd.comparators):
+                members_all.append((rd.index, i, op))
+                ra, rb = find(op.lo), find(op.hi)
+                if ra != rb:
+                    parent[ra] = rb
+        chains: dict[int, list[tuple[int, int, ComparatorOp]]] = {}
+        for rd_index, i, op in members_all:
+            chains.setdefault(find(op.lo), []).append((rd_index, i, op))
+        for members in chains.values():
+            nodes = sorted({x for _, _, op in members for x in (op.lo, op.hi)})
+            spanned = {rd_index for rd_index, _, _ in members}
+            if len(nodes) != n * n or len(spanned) < 2:
+                continue
+            labs = labels[nodes]
+            varying = np.nonzero(labs.max(axis=0) != labs.min(axis=0))[0]
+            if varying.size != 2:
+                continue
+            order = _chain_orientation(nodes, members)
+            if order is None:
+                continue
+            reduced = [tuple(int(s) for s in labels[x][varying]) for x in order]
+            if reduced == expected_snake2:
+                blk = BlockSortOp(nodes=tuple(order), descending=False)
+            elif reduced == expected_snake2[::-1]:
+                blk = BlockSortOp(nodes=tuple(order[::-1]), descending=True)
+            else:
+                continue
+            locally_proved = _chain_sorts(order, members)
+            proved += locally_proved
+            deferred += not locally_proved
+            dropped.update((rd_index, i) for rd_index, i, _ in members)
+            spec[min(spanned)][3].append(blk)
+            removed_cmp += len(members)
+            super_ops += 1
+            components.append(
+                {
+                    "phase": p.index,
+                    "nodes": len(nodes),
+                    "comparators": len(members),
+                    "rounds": len(spanned),
+                    "descending": blk.descending,
+                    "locally_proved": locally_proved,
+                }
+            )
+    if super_ops:
+        spec = [
+            (
+                phase,
+                charge,
+                [
+                    op
+                    for i, op in enumerate(dag.rounds[rd_index].comparators)
+                    if (rd_index, i) not in dropped
+                ],
+                block_sorts,
+            )
+            for rd_index, (phase, charge, _, block_sorts) in enumerate(spec)
+        ]
+    out = _rebuild(dag, spec, "agglomeration") if super_ops else dag
+    return out, OptimizationCertificate(
+        pass_name="agglomeration",
+        ok=True,
+        evidence=f"{super_ops} PG_2 chains collapsed into snake-ordered super-ops "
+        f"({proved} proved sorting locally, {deferred} deferred to the "
+        f"translation validator)",
+        comparators_removed=removed_cmp,
+        super_ops_added=super_ops,
+        stats={"locally_proved": proved, "deferred": deferred, "components": components},
+    )
+
+
+# ----------------------------------------------------------------------
+# pass 3: depth re-packing
+# ----------------------------------------------------------------------
+
+def _node_sequences(dag: ComparatorDAG) -> dict[int, list[tuple[Any, ...]]]:
+    """Per node, the exact sequence of operations touching it, in execution
+    order.  Two DAGs with identical per-node sequences compute the same
+    function (every op's operands arrive from the same producers)."""
+    seq: dict[int, list[tuple[Any, ...]]] = {}
+    for rd in dag.rounds:
+        for op in rd.comparators:
+            for x in (op.lo, op.hi):
+                seq.setdefault(x, []).append(("cmp", op.lo, op.hi))
+        for blk in rd.block_sorts:
+            for x in blk.nodes:
+                seq.setdefault(x, []).append(("blk", blk.nodes, blk.descending))
+    return seq
+
+
+def repack_rounds(dag: ComparatorDAG) -> tuple[ComparatorDAG, OptimizationCertificate]:
+    """ASAP layer scheduling within each phase.
+
+    Each operation moves to the earliest round of its phase that is after
+    every earlier operation sharing a node with it (the interference check),
+    so conflicting operations keep their relative order and node-disjoint
+    ones merge into one synchronous round.  Rounds emptied by earlier passes
+    disappear.  The per-phase charge sum is conserved — the last packed
+    round absorbs the freed charge — so the paper's depth accounting
+    (phase ``charged_rounds``, ``S_r(N)``) is unchanged.
+    """
+    before = _node_sequences(dag)
+    spec: list[tuple[int, int, list[ComparatorOp], list[BlockSortOp]]] = []
+    removed = 0
+    for p in dag.phases:
+        phase_rounds = [rd for rd in dag.rounds if rd.phase == p.index]
+        if not phase_rounds:
+            continue
+        charged = sum(rd.charge for rd in phase_rounds)
+        layers: list[tuple[list[ComparatorOp], list[BlockSortOp]]] = []
+        last_layer_of: dict[int, int] = {}
+        for rd in phase_rounds:
+            ops: list[ComparatorOp | BlockSortOp] = list(rd.comparators)
+            ops.extend(rd.block_sorts)
+            for op in ops:
+                nodes = (
+                    (op.lo, op.hi) if isinstance(op, ComparatorOp) else tuple(op.nodes)
+                )
+                layer = max((last_layer_of.get(x, -1) for x in nodes), default=-1) + 1
+                while len(layers) <= layer:
+                    layers.append(([], []))
+                if isinstance(op, ComparatorOp):
+                    layers[layer][0].append(op)
+                else:
+                    layers[layer][1].append(op)
+                for x in nodes:
+                    last_layer_of[x] = layer
+        if not layers:
+            # every op of the phase was optimized away (or it emitted none):
+            # keep one empty round so the phase retains its charge
+            layers = [([], [])]
+        removed += len(phase_rounds) - len(layers)
+        for li, (comparators, block_sorts) in enumerate(layers):
+            charge = 1 if li < len(layers) - 1 else charged - (len(layers) - 1)
+            spec.append((p.index, charge, comparators, block_sorts))
+    out = _rebuild(dag, spec, "depth-repacking")
+
+    # self-certification: identical per-node op sequences and conserved
+    # per-phase charges prove the re-packing is a pure re-layering
+    ok = _node_sequences(out) == before
+    charges_ok = all(
+        sum(rd.charge for rd in out.phase_rounds(p.index)) == p.charged_rounds
+        for p in out.phases
+        if dag.phase_rounds(p.index)
+    )
+    races_ok = all(
+        len(set(rd.touched_nodes())) == sum(1 for _ in rd.touched_nodes())
+        for rd in out.rounds
+    )
+    if not (ok and charges_ok and races_ok):  # pragma: no cover - defensive
+        return dag, OptimizationCertificate(
+            pass_name="depth-repacking",
+            ok=False,
+            evidence="re-packing altered a per-node op sequence, a phase charge "
+            "sum, or packed two ops of one node into one round",
+        )
+    return out, OptimizationCertificate(
+        pass_name="depth-repacking",
+        ok=True,
+        evidence=f"per-node op sequences identical over {len(before)} nodes, "
+        f"per-phase charge sums conserved, packed rounds race-free",
+        rounds_removed=removed,
+        stats={"rounds_before": len(dag.rounds), "rounds_after": len(out.rounds)},
+    )
+
+
+# ----------------------------------------------------------------------
+# the pipeline
+# ----------------------------------------------------------------------
+
+@dataclass
+class OptimizationResult:
+    """The pipeline's outcome: both DAGs, per-pass certificates, validation."""
+
+    original: ComparatorDAG
+    optimized: ComparatorDAG
+    certificates: tuple[OptimizationCertificate, ...]
+    validation: "TranslationValidation | None"
+    fell_back: bool
+
+    @property
+    def ok(self) -> bool:
+        if self.fell_back:
+            return False
+        if self.validation is not None and not self.validation.ok:
+            return False
+        return all(cert.ok for cert in self.certificates)
+
+    @property
+    def original_hash(self) -> str:
+        return self.original.schedule_hash()
+
+    @property
+    def optimized_hash(self) -> str:
+        return self.optimized.schedule_hash()
+
+    @property
+    def comparators_removed(self) -> int:
+        return self.original.comparator_count - self.optimized.comparator_count
+
+    @property
+    def block_sorts_removed(self) -> int:
+        """Net change; negative when agglomeration added super-ops."""
+        return self.original.block_sort_count - self.optimized.block_sort_count
+
+    @property
+    def rounds_removed(self) -> int:
+        return len(self.original.rounds) - len(self.optimized.rounds)
+
+    def to_json(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "ok": self.ok,
+            "fell_back": self.fell_back,
+            "original_hash": self.original_hash,
+            "optimized_hash": self.optimized_hash,
+            "comparators_removed": self.comparators_removed,
+            "block_sorts_removed": self.block_sorts_removed,
+            "rounds_removed": self.rounds_removed,
+            "certificates": [cert.to_json() for cert in self.certificates],
+        }
+        if self.validation is not None:
+            payload["validation"] = self.validation.to_json()
+        return payload
+
+    def describe(self) -> str:
+        lines = [
+            f"optimize {self.original.backend}/{self.original.factor} "
+            f"n={self.original.n} r={self.original.r}: "
+            f"{'fell back to the unoptimized schedule' if self.fell_back else 'ok'}"
+        ]
+        for cert in self.certificates:
+            lines.append(f"  {cert.describe()}")
+        if self.validation is not None:
+            lines.append(f"  {self.validation.describe()}")
+        return "\n".join(lines)
+
+
+_RESULTS: dict[tuple[str, bool, bool], OptimizationResult] = {}
+_RESULTS_LOCK = threading.Lock()
+OPTIMIZER_CACHE_STATS = CacheStats("optimized-schedules", size_fn=lambda: len(_RESULTS))
+
+
+def clear_optimizer_cache() -> None:
+    """Drop every memoised optimization result and reset its statistics."""
+    with _RESULTS_LOCK:
+        _RESULTS.clear()
+    OPTIMIZER_CACHE_STATS.reset()
+
+
+def optimize_schedule(
+    dag: ComparatorDAG,
+    validate: bool = True,
+    network: "ProductGraph | None" = None,
+    s2_model_rounds: int | None = None,
+    routing_model_rounds: int | None = None,
+    seed: int = 0,
+) -> OptimizationResult:
+    """Run the full pass pipeline with per-pass certificates and fallback.
+
+    ``network`` (optional) enables the validator's links lint; without it
+    the validator still proves equivalence (0-1 certification + replay) and
+    race/depth legality.  Results are cached by the original schedule hash.
+    """
+    key = (dag.schedule_hash(), bool(validate), network is not None)
+    with _RESULTS_LOCK:
+        cached = _RESULTS.get(key)
+    if cached is not None:
+        OPTIMIZER_CACHE_STATS.record_hit()
+        return cached
+    t0 = time.perf_counter()
+    result = _optimize_uncached(
+        dag,
+        validate=validate,
+        network=network,
+        s2_model_rounds=s2_model_rounds,
+        routing_model_rounds=routing_model_rounds,
+        seed=seed,
+    )
+    OPTIMIZER_CACHE_STATS.record_miss(time.perf_counter() - t0)
+    with _RESULTS_LOCK:
+        _RESULTS.setdefault(key, result)
+    return result
+
+
+def _optimize_uncached(
+    dag: ComparatorDAG,
+    validate: bool,
+    network: "ProductGraph | None",
+    s2_model_rounds: int | None,
+    routing_model_rounds: int | None,
+    seed: int,
+) -> OptimizationResult:
+    certificates: list[OptimizationCertificate] = []
+    current = dag
+    for pass_fn in (eliminate_dead_ops, agglomerate_chains, repack_rounds):
+        current, cert = pass_fn(current)
+        certificates.append(cert)
+        if not cert.ok:
+            return OptimizationResult(
+                original=dag,
+                optimized=dag,
+                certificates=tuple(certificates),
+                validation=None,
+                fell_back=True,
+            )
+    validation: "TranslationValidation | None" = None
+    if validate:
+        # deferred import: staticcheck depends on repro.schedule at module
+        # level, so the reverse edge must stay function-local
+        from ..staticcheck.validate import validate_translation
+
+        validation = validate_translation(
+            dag,
+            current,
+            network=network,
+            s2_model_rounds=s2_model_rounds,
+            routing_model_rounds=routing_model_rounds,
+            seed=seed,
+        )
+        if not validation.ok:
+            return OptimizationResult(
+                original=dag,
+                optimized=dag,
+                certificates=tuple(certificates),
+                validation=validation,
+                fell_back=True,
+            )
+    return OptimizationResult(
+        original=dag,
+        optimized=current,
+        certificates=tuple(certificates),
+        validation=validation,
+        fell_back=False,
+    )

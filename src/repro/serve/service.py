@@ -132,6 +132,10 @@ class ServiceConfig:
     #: artificial per-flush service time — the overload / backpressure drill
     #: knob used by tests and the load generator, never on by default
     flush_penalty_s: float = 0.0
+    #: run the certified schedule optimizer before compiling each cell's
+    #: kernel (see :mod:`repro.schedule.optimize`); a failed certificate
+    #: falls back to the unoptimized schedule, so serving stays correct
+    optimize: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -152,6 +156,7 @@ class ServiceConfig:
             "max_queue_depth": self.max_queue_depth,
             "deadline_ms": self.deadline_ms,
             "flush_penalty_s": self.flush_penalty_s,
+            "optimize": self.optimize,
         }
 
 
@@ -175,15 +180,20 @@ class _CellQueue:
     flusher: "asyncio.Task[None] | None" = field(default=None, repr=False)
 
 
-def _resolve_kernel(cell_key: str) -> "CompiledSchedule":
-    """Emit (cached) and compile (cached) the kernel behind a cell name."""
+def _resolve_kernel(cell_key: str, optimize: bool = False) -> "CompiledSchedule":
+    """Emit (cached) and compile (cached) the kernel behind a cell name.
+
+    ``optimize=True`` serves the certified optimized schedule instead (both
+    hashes stay visible on the kernel: ``source_hash`` names the emitted
+    schedule, ``schedule_hash`` the optimized one actually executed).
+    """
     from ..observability.kernelprof import resolve_profile_cell
     from ..schedule import compile_schedule
     from ..staticcheck import emit_schedule
 
     cell = resolve_profile_cell(cell_key)
     dag = emit_schedule(cell.build_factor(), cell.r, backend=cell.backend)
-    return compile_schedule(dag)
+    return compile_schedule(dag, optimize=optimize)
 
 
 class SortService:
@@ -258,7 +268,7 @@ class SortService:
     def _get_queue(self, cell_key: str) -> _CellQueue:
         queue = self._queues.get(cell_key)
         if queue is None:
-            kernel = _resolve_kernel(cell_key)
+            kernel = _resolve_kernel(cell_key, optimize=self.config.optimize)
             # canonical label (family-nN-rR); alias both spellings so a
             # second resolve of either name finds the same queue
             queue = self._queues.get(kernel.cell)

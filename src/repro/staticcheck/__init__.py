@@ -43,10 +43,18 @@ from .lints import (
 )
 from .mutants import (
     MUTANTS,
+    OPTIMIZER_FAULTS,
     Mutant,
     MutantOutcome,
+    OptimizerFault,
+    OptimizerFaultOutcome,
     apply_mutant,
     run_mutant_harness,
+    run_optimizer_fault_harness,
+)
+from .validate import (
+    TranslationValidation,
+    validate_translation,
 )
 from .checker import (
     MUTANT_CELLS,
@@ -54,8 +62,11 @@ from .checker import (
     CheckRun,
     render_check,
     render_mutants,
+    render_optimizer,
+    render_optimizer_faults,
     run_check,
     run_mutants,
+    run_optimizer_faults,
 )
 
 __all__ = [
@@ -82,15 +93,24 @@ __all__ = [
     "lint_zero_one",
     "verify_dag",
     "MUTANTS",
+    "OPTIMIZER_FAULTS",
     "Mutant",
     "MutantOutcome",
+    "OptimizerFault",
+    "OptimizerFaultOutcome",
     "apply_mutant",
     "run_mutant_harness",
+    "run_optimizer_fault_harness",
+    "TranslationValidation",
+    "validate_translation",
     "MUTANT_CELLS",
     "CellCheck",
     "CheckRun",
     "render_check",
     "render_mutants",
+    "render_optimizer",
+    "render_optimizer_faults",
     "run_check",
     "run_mutants",
+    "run_optimizer_faults",
 ]

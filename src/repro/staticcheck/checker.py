@@ -26,9 +26,15 @@ import numpy as np
 from ..observability.benchreg import DEFAULT_MATRIX, WorkloadCell
 from ..graphs.product import ProductGraph
 from ..schedule import compile_schedule, replay
+from ..schedule.optimize import OptimizationResult, optimize_schedule
 from .extract import ObliviousnessCertificate, adversarial_key_sets, certify_oblivious
 from .lints import LINT_NAMES, VerificationReport, verify_dag
-from .mutants import MutantOutcome, run_mutant_harness
+from .mutants import (
+    MutantOutcome,
+    OptimizerFaultOutcome,
+    run_mutant_harness,
+    run_optimizer_fault_harness,
+)
 
 __all__ = [
     "CellCheck",
@@ -36,8 +42,11 @@ __all__ = [
     "MUTANT_CELLS",
     "run_check",
     "run_mutants",
+    "run_optimizer_faults",
     "render_check",
     "render_mutants",
+    "render_optimizer",
+    "render_optimizer_faults",
 ]
 
 #: canonical cells for the seeded-fault harness (see module docstring)
@@ -71,12 +80,16 @@ class CellCheck:
     report: VerificationReport | None
     #: compiled-kernel equivalence verdict (None when not requested)
     compiled_ok: bool | None = None
+    #: the certified optimizer pipeline's outcome (None when not requested)
+    optimize: OptimizationResult | None = None
 
     @property
     def ok(self) -> bool:
         if not self.certificate.ok:
             return False
         if self.compiled_ok is False:
+            return False
+        if self.optimize is not None and not self.optimize.ok:
             return False
         return self.report is None or self.report.ok
 
@@ -85,6 +98,8 @@ class CellCheck:
         out = [] if self.certificate.ok else ["oblivious"]
         if self.compiled_ok is False:
             out.append("compiled")
+        if self.optimize is not None and not self.optimize.ok:
+            out.append("optimize")
         if self.report is not None:
             out.extend(self.report.failed_lints)
         return out
@@ -109,6 +124,8 @@ class CellCheck:
         }
         if self.compiled_ok is not None:
             payload["compiled"] = {"ok": self.compiled_ok}
+        if self.optimize is not None:
+            payload["optimize"] = self.optimize.to_json()
         if self.report is not None:
             payload["lints"] = {
                 name: {
@@ -130,6 +147,7 @@ class CheckRun:
 
     cells: list[CellCheck] = field(default_factory=list)
     mutants: dict[str, list[MutantOutcome]] = field(default_factory=dict)
+    optimizer_faults: dict[str, list[OptimizerFaultOutcome]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -137,7 +155,10 @@ class CheckRun:
         mutants_ok = all(
             oc.caught for outcomes in self.mutants.values() for oc in outcomes
         )
-        return cells_ok and mutants_ok
+        faults_ok = all(
+            oc.caught for outcomes in self.optimizer_faults.values() for oc in outcomes
+        )
+        return cells_ok and mutants_ok and faults_ok
 
     @property
     def exit_code(self) -> int:
@@ -159,6 +180,19 @@ class CheckRun:
                     for oc in outcomes
                 ]
                 for key, outcomes in self.mutants.items()
+            },
+            "optimizer_faults": {
+                key: [
+                    {
+                        "fault": oc.fault,
+                        "expected_check": oc.expected_check,
+                        "failed_checks": oc.failed_checks,
+                        "caught": oc.caught,
+                        "validator_exit_code": oc.validation.exit_code,
+                    }
+                    for oc in outcomes
+                ]
+                for key, outcomes in self.optimizer_faults.items()
             },
         }
 
@@ -195,15 +229,23 @@ def run_check(
     only: Iterable[str] | None = None,
     seed: int = 0,
     compiled: bool = False,
+    optimize: bool = False,
 ) -> CheckRun:
-    """Certify obliviousness and run the requested lints on each cell."""
+    """Certify obliviousness and run the requested lints on each cell.
+
+    ``optimize=True`` additionally runs the certified optimizer pipeline on
+    every cell (per-pass certificates + translation validation, see
+    :mod:`repro.schedule.optimize`) and the seeded optimizer-fault harness
+    over the canonical mutant cells — every fault must be rejected by the
+    translation validator for the run to pass.
+    """
     run = CheckRun()
     for cell in _select_cells(cells, only):
         factor = cell.build_factor()
         certificate = certify_oblivious(factor, cell.r, backend=cell.backend, seed=seed)
         report = None
+        s2_model, routing_model = _analytic_models(cell)
         if lints:
-            s2_model, routing_model = _analytic_models(cell)
             report = verify_dag(
                 certificate.dag,
                 network=ProductGraph(factor, cell.r),
@@ -212,10 +254,22 @@ def run_check(
                 routing_model_rounds=routing_model,
             )
         compiled_ok = _check_compiled(certificate, seed) if compiled else None
+        optimization = None
+        if optimize:
+            optimization = optimize_schedule(
+                certificate.dag,
+                validate=True,
+                network=ProductGraph(factor, cell.r),
+                s2_model_rounds=s2_model,
+                routing_model_rounds=routing_model,
+                seed=seed,
+            )
         run.cells.append(
             CellCheck(cell=cell, certificate=certificate, report=report,
-                      compiled_ok=compiled_ok)
+                      compiled_ok=compiled_ok, optimize=optimization)
         )
+    if optimize:
+        run.optimizer_faults = run_optimizer_faults(seed=seed)
     return run
 
 
@@ -227,6 +281,19 @@ def run_mutants(
     outcomes: dict[str, list[MutantOutcome]] = {}
     for cell in cells:
         outcomes[cell.key] = run_mutant_harness(
+            cell.build_factor(), cell.r, backend=cell.backend, seed=seed
+        )
+    return outcomes
+
+
+def run_optimizer_faults(
+    cells: Sequence[WorkloadCell] = MUTANT_CELLS,
+    seed: int = 0,
+) -> dict[str, list[OptimizerFaultOutcome]]:
+    """Run the seeded optimizer-fault harness over the canonical mutant cells."""
+    outcomes: dict[str, list[OptimizerFaultOutcome]] = {}
+    for cell in cells:
+        outcomes[cell.key] = run_optimizer_fault_harness(
             cell.build_factor(), cell.r, backend=cell.backend, seed=seed
         )
     return outcomes
@@ -276,9 +343,70 @@ def render_check(run: CheckRun, verbose: bool = False) -> str:
         if check.compiled_ok is False:
             lines.append(f"[FAIL] {check.cell.key} compiled: batch kernel output "
                          f"differs from reference replay")
+    if any(c.optimize is not None for c in run.cells):
+        lines.append("")
+        lines.append(render_optimizer(run))
     if run.mutants:
         lines.append("")
         lines.append(render_mutants(run.mutants))
+    if run.optimizer_faults:
+        lines.append("")
+        lines.append(render_optimizer_faults(run.optimizer_faults))
+    return "\n".join(lines)
+
+
+def render_optimizer(run: CheckRun) -> str:
+    """Per-cell pass deltas and certificate/validator verdicts."""
+    lines = []
+    header = (
+        f"{'cell':<22} {'optimize':<9} {'-cmp':>5} {'-blk':>5} {'+super':>6} "
+        f"{'rounds':>9} {'layers':>9} {'certs':>6} {'validated':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for check in run.cells:
+        opt = check.optimize
+        if opt is None:
+            continue
+        kernel_before = compile_schedule(opt.original)
+        kernel_after = compile_schedule(opt.original, optimize=True)
+        certs = f"{sum(c.ok for c in opt.certificates)}/{len(opt.certificates)}"
+        validated = (
+            "-" if opt.validation is None else ("ok" if opt.validation.ok else "FAIL")
+        )
+        verdict = "fellback" if opt.fell_back else "ok"
+        super_ops = sum(c.super_ops_added for c in opt.certificates)
+        lines.append(
+            f"{check.cell.key:<22} {verdict:<9} "
+            f"{opt.comparators_removed:>5} "
+            f"{opt.block_sorts_removed + super_ops:>5} "
+            f"{super_ops:>6} "
+            f"{len(opt.original.rounds):>4}->{len(opt.optimized.rounds):<4} "
+            f"{kernel_before.num_layers:>4}->{kernel_after.num_layers:<4} "
+            f"{certs:>6} {validated:>9}"
+        )
+        for cert in opt.certificates:
+            if not cert.ok:
+                lines.append(f"[FAIL] {check.cell.key} {cert.describe()}")
+        if opt.validation is not None and not opt.validation.ok:
+            lines.append(
+                f"[FAIL] {check.cell.key} {opt.validation.describe()}"
+            )
+    return "\n".join(lines)
+
+
+def render_optimizer_faults(outcomes: dict[str, list[OptimizerFaultOutcome]]) -> str:
+    lines = [
+        "optimizer fault harness (each unsound optimization must be rejected "
+        "by the translation validator):"
+    ]
+    caught = total = 0
+    for key, cell_outcomes in outcomes.items():
+        for oc in cell_outcomes:
+            total += 1
+            caught += oc.caught
+            lines.append(f"  {key}: {oc.describe()}")
+    lines.append(f"caught {caught}/{total}")
     return "\n".join(lines)
 
 

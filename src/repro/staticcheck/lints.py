@@ -50,6 +50,11 @@ from ..analysis.complexity import (
 )
 from ..graphs.product import ProductGraph
 from ..orders.gray import gray_sequence, rank_lattice
+from ..schedule.activity import (
+    ActivityTracker,
+    apply_zero_one_round,
+    exhaustive_zero_one_states,
+)
 from .dag import ComparatorDAG, ScheduleRound, snake_order_nodes
 
 __all__ = [
@@ -329,64 +334,6 @@ def lint_depth(
 # zero-one certification
 # ----------------------------------------------------------------------
 
-class _Activity:
-    """Tracks which operations ever moved a key during certification."""
-
-    __slots__ = ("comparators", "block_sorts")
-
-    def __init__(self, rounds: list[ScheduleRound]) -> None:
-        self.comparators = {
-            (rd.index, i): False for rd in rounds for i in range(len(rd.comparators))
-        }
-        self.block_sorts = {
-            (rd.index, i): False for rd in rounds for i in range(len(rd.block_sorts))
-        }
-
-    def dead(self) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
-        return (
-            sorted(k for k, live in self.comparators.items() if not live),
-            sorted(k for k, live in self.block_sorts.items() if not live),
-        )
-
-
-def _apply_round(
-    states: np.ndarray,
-    rd: ScheduleRound,
-    activity: _Activity | None,
-    offset: int = 0,
-    cmp_filter: set[int] | None = None,
-    blk_filter: set[int] | None = None,
-) -> None:
-    """Apply one round to 0-1 state rows, recording op activity.
-
-    ``offset`` plus the filters support block-local simulation: node indices
-    are shifted by ``-offset`` and only the comparator/block-sort positions in
-    the respective filter (when given) are applied.
-    """
-    for i, op in enumerate(rd.comparators):
-        if cmp_filter is not None and i not in cmp_filter:
-            continue
-        lo = states[:, op.lo - offset].copy()
-        hi = states[:, op.hi - offset].copy()
-        swapped = lo > hi
-        if swapped.any():
-            if activity is not None:
-                activity.comparators[(rd.index, i)] = True
-            states[:, op.lo - offset] = np.minimum(lo, hi)
-            states[:, op.hi - offset] = np.maximum(lo, hi)
-    for i, blk in enumerate(rd.block_sorts):
-        if blk_filter is not None and i not in blk_filter:
-            continue
-        nodes = np.asarray(blk.nodes, dtype=np.intp) - offset
-        sub = states[:, nodes]
-        target = np.sort(sub, axis=1)
-        if blk.descending:
-            target = target[:, ::-1]
-        if activity is not None and (sub != target).any():
-            activity.block_sorts[(rd.index, i)] = True
-        states[:, nodes] = target
-
-
 def _round_max_move(rd: ScheduleRound, sranks: np.ndarray) -> int:
     """Furthest snake distance any single key can travel in this round."""
     move = 0
@@ -396,11 +343,6 @@ def _round_max_move(rd: ScheduleRound, sranks: np.ndarray) -> int:
         rs = sranks[np.asarray(blk.nodes, dtype=np.intp)]
         move = max(move, int(rs.max()) - int(rs.min()))
     return move
-
-
-def _exhaustive_states(num_nodes: int) -> np.ndarray:
-    bits = np.arange(1 << num_nodes, dtype=np.uint32)
-    return ((bits[:, None] >> np.arange(num_nodes, dtype=np.uint32)) & 1).astype(np.int8)
 
 
 def lint_zero_one(
@@ -413,7 +355,7 @@ def lint_zero_one(
     n, r, num_nodes = dag.n, dag.r, dag.num_nodes
     sranks = np.asarray(rank_lattice(n, r)).ravel()
     snake = snake_order_nodes(n, r)
-    activity = _Activity(list(dag.rounds))
+    activity = ActivityTracker(list(dag.rounds))
 
     # Lemma-1 checkpoints: before the first round of every top-level
     # clean-up (merge_depth == 1), i.e. right after Step 3's interleave.
@@ -463,7 +405,7 @@ def lint_zero_one(
                         )
                         early_exit = True
                         return False
-            _apply_round(states, rd, activity)
+            apply_zero_one_round(states, rd, activity)
         return True
 
     def check_sorted(states: np.ndarray, inputs: np.ndarray) -> None:
@@ -479,7 +421,7 @@ def lint_zero_one(
             )
 
     if num_nodes <= max_exhaustive_nodes:
-        states = _exhaustive_states(num_nodes)
+        states = exhaustive_zero_one_states(num_nodes)
         inputs = states.copy()
         result.stats["mode"] = "exhaustive"
         result.stats["states"] = int(states.shape[0])
@@ -507,10 +449,12 @@ def lint_zero_one(
                 advisory=True,
             ))
         for rd_index, op_index in dead_blk[:max_listed]:
+            blk = dag.rounds[rd_index].block_sorts[op_index]
             result.findings.append(LintFinding(
                 "zero-one",
-                f"redundant block sort: round {rd_index} op {op_index} finds its "
-                f"block already in order on every certified input",
+                f"redundant block sort: round {rd_index} op {op_index} "
+                f"(nodes {blk.nodes[0]}..{blk.nodes[-1]}, width {len(blk.nodes)}) "
+                f"finds its block already in order on every certified input",
                 advisory=True,
                 round_index=rd_index,
             ))
@@ -587,13 +531,13 @@ def _factored_zero_one(dag, result, activity, run_rounds, check_sorted, max_stat
 
     # verify the prefix sorts each block, exhaustively over the block
     snake2 = np.argsort(np.asarray(rank_lattice(n, 2)).ravel())
-    block_states = _exhaustive_states(bs)
+    block_states = exhaustive_zero_one_states(bs)
     prefix_by_index = {rd.index: rd for rd in prefix}
     for b in range(nblocks):
         states = block_states.copy()
         for rd_index in sorted(per_block_ops[b]):
             cmp_set, blk_set = per_block_ops[b][rd_index]
-            _apply_round(states, prefix_by_index[rd_index], activity,
+            apply_zero_one_round(states, prefix_by_index[rd_index], activity,
                          offset=b * bs, cmp_filter=cmp_set, blk_filter=blk_set)
         seq = states[:, snake2]
         ok_rows = np.all(seq[:, :-1] <= seq[:, 1:], axis=1)

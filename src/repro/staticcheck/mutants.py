@@ -34,7 +34,7 @@ harness demonstrably needs all of its lints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..graphs.base import FactorGraph
 from ..graphs.product import ProductGraph
@@ -42,12 +42,19 @@ from .dag import ComparatorDAG, ComparatorOp, SchedulePhase, ScheduleRound
 from .extract import emit_schedule
 from .lints import LINT_NAMES, VerificationReport, verify_dag
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .validate import TranslationValidation
+
 __all__ = [
     "Mutant",
     "MutantOutcome",
     "MUTANTS",
+    "OPTIMIZER_FAULTS",
+    "OptimizerFault",
+    "OptimizerFaultOutcome",
     "apply_mutant",
     "run_mutant_harness",
+    "run_optimizer_fault_harness",
 ]
 
 
@@ -259,6 +266,148 @@ def run_mutant_harness(
                 expected_lint=mutant.expected_lint,
                 failed_lints=report.failed_lints,
                 report=report,
+            )
+        )
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# seeded optimizer faults (translation-validation teeth)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class OptimizerFault:
+    """One deliberately broken "optimization" and the validator check that
+    must reject it.
+
+    Unlike :class:`Mutant` (which corrupts an *emitted* schedule to prove
+    the lints have teeth), an optimizer fault corrupts the *optimized*
+    schedule the real pipeline produced — simulating an unsound optimizer —
+    and the translation validator must refuse the translation (exit 1).
+    """
+
+    name: str
+    description: str
+    #: the validator check that must fail (see TranslationValidation.checks)
+    expected_check: str
+    apply: Callable[[ComparatorDAG], ComparatorDAG]
+
+
+def _fault_delete_live_comparator(dag: ComparatorDAG) -> ComparatorDAG:
+    """Drop the schedule's final live operation.
+
+    After dead-op elimination every remaining op moves a key on some 0-1
+    input; with nothing downstream to repair the miss, the 0-1 equivalence
+    certification must fail.
+    """
+    rounds = list(dag.rounds)
+    for i in range(len(rounds) - 1, -1, -1):
+        rd = rounds[i]
+        if rd.comparators:
+            rounds[i] = ScheduleRound(
+                index=rd.index, phase=rd.phase, charge=rd.charge,
+                comparators=rd.comparators[:-1], block_sorts=rd.block_sorts,
+            )
+            return _rebuild(dag, list(dag.phases), rounds, "delete_live_comparator")
+        if rd.block_sorts:
+            rounds[i] = ScheduleRound(
+                index=rd.index, phase=rd.phase, charge=rd.charge,
+                comparators=rd.comparators, block_sorts=rd.block_sorts[:-1],
+            )
+            return _rebuild(dag, list(dag.phases), rounds, "delete_live_comparator")
+    raise ValueError("optimized schedule has no operation to delete")
+
+
+def _fault_overpack_rounds(dag: ComparatorDAG) -> ComparatorDAG:
+    """Pack two dependent rounds into one synchronous round.
+
+    The merged rounds share at least one node, so a node now engages two
+    operations in one round — an interference-check violation the
+    validator's races lint must reject.
+    """
+    rounds = list(dag.rounds)
+    for i in range(len(rounds) - 1):
+        a, b = rounds[i], rounds[i + 1]
+        if set(a.touched_nodes()) & set(b.touched_nodes()):
+            rounds[i] = ScheduleRound(
+                index=a.index, phase=a.phase, charge=a.charge + b.charge,
+                comparators=a.comparators + b.comparators,
+                block_sorts=a.block_sorts + b.block_sorts,
+            )
+            del rounds[i + 1]
+            return _rebuild(dag, list(dag.phases), rounds, "overpack_rounds")
+    raise ValueError("optimized schedule has no dependent adjacent rounds to overpack")
+
+
+#: the seeded optimizer fault classes, in canonical order
+OPTIMIZER_FAULTS: tuple[OptimizerFault, ...] = (
+    OptimizerFault(
+        "delete_live_comparator",
+        "delete the final live operation from the optimized schedule",
+        "zero-one",
+        _fault_delete_live_comparator,
+    ),
+    OptimizerFault(
+        "overpack_rounds",
+        "pack two dependent rounds into one synchronous round",
+        "races",
+        _fault_overpack_rounds,
+    ),
+)
+
+
+@dataclass
+class OptimizerFaultOutcome:
+    """Result of pushing one faulty optimization through the validator."""
+
+    fault: str
+    expected_check: str
+    failed_checks: list[str]
+    validation: "TranslationValidation" = field(repr=False)
+
+    @property
+    def caught(self) -> bool:
+        """Rejected (exit 1) *by the check that owns the fault class*."""
+        return self.validation.exit_code == 1 and self.expected_check in self.failed_checks
+
+    def describe(self) -> str:
+        if self.caught:
+            return (
+                f"{self.fault}: CAUGHT by {self.expected_check} "
+                f"(validator exit 1; all failed checks: "
+                f"{', '.join(self.failed_checks)})"
+            )
+        return (
+            f"{self.fault}: ESCAPED — expected {self.expected_check}, "
+            f"failed checks: {', '.join(self.failed_checks) or 'none'} "
+            f"(validator exit {self.validation.exit_code})"
+        )
+
+
+def run_optimizer_fault_harness(
+    factor: FactorGraph,
+    r: int,
+    backend: str = "machine",
+    seed: int = 0,
+) -> list[OptimizerFaultOutcome]:
+    """Optimize the real schedule, seed each fault into the *optimized* DAG,
+    and require the translation validator to reject every one."""
+    from ..schedule.optimize import optimize_schedule
+    from .validate import validate_translation
+
+    base = emit_schedule(factor, r, backend=backend)
+    network = ProductGraph(factor, r)
+    result = optimize_schedule(base, validate=True, network=network, seed=seed)
+    outcomes = []
+    for fault in OPTIMIZER_FAULTS:
+        faulty = fault.apply(result.optimized)
+        validation = validate_translation(base, faulty, network=network, seed=seed)
+        outcomes.append(
+            OptimizerFaultOutcome(
+                fault=fault.name,
+                expected_check=fault.expected_check,
+                failed_checks=validation.failed_checks,
+                validation=validation,
             )
         )
     return outcomes

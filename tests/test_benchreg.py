@@ -61,11 +61,12 @@ class TestWorkloadMatrix:
             run_cell(WorkloadCell("path", 3, 2, "quantum"))
 
     def test_schema_version_pinned(self):
-        # v6: serving scenarios run under the flight recorder and carry an
-        # ``slo`` alert snapshot plus a ``server_latency_ms`` section; a
-        # page-severity alert during the canonical suite fails the candidate.
+        # v7: every cell carries an ``optimize`` block — the certified
+        # optimizer's hashes, per-pass certificates and translation-validation
+        # verdict; remaining op counts gate at zero tolerance and a fallback
+        # on a canonical cell is a hard error.
         # Bump this pin deliberately alongside BENCH_seed.json regeneration.
-        assert SCHEMA_VERSION == 6
+        assert SCHEMA_VERSION == 7
 
     def test_document_schema(self, matrix_doc):
         assert matrix_doc["schema_version"] == SCHEMA_VERSION
@@ -312,7 +313,7 @@ class TestBenchCli:
         doc = load_document(str(out))
         assert doc["label"] == "t" and len(doc["cells"]) == len(DEFAULT_MATRIX)
         stdout = capsys.readouterr().out
-        assert "schema v6" in stdout and "conformance=ok" in stdout
+        assert "schema v7" in stdout and "conformance=ok" in stdout
 
     def test_bench_compare_same_file_ok(self, tmp_path, capsys, matrix_doc):
         path = write_document(matrix_doc, str(tmp_path / "BENCH_t.json"))

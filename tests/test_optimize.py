@@ -1,0 +1,220 @@
+"""Certified optimizer: passes, certificates, translation validation.
+
+The headline Hypothesis property (the issue's satellite): for every
+canonical benchreg cell, replaying the *optimized* schedule equals the
+snake-order ground truth — and the original's replay — on random,
+duplicate-heavy and adversarial batches.  The rest pins the certificate
+contents, the fault harness, the fallback semantics and the
+``compile_schedule(optimize=True)`` integration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import path_graph
+from repro.observability.benchreg import DEFAULT_MATRIX
+from repro.schedule import (
+    PASS_NAMES,
+    analyze_zero_one_activity,
+    compile_schedule,
+    eliminate_dead_ops,
+    optimize_schedule,
+    repack_rounds,
+    replay,
+    snake_order_nodes,
+)
+from repro.staticcheck import (
+    OPTIMIZER_FAULTS,
+    TranslationValidation,
+    adversarial_key_sets,
+    emit_schedule,
+    run_optimizer_fault_harness,
+    validate_translation,
+    verify_dag,
+)
+
+CELL_IDS = [c.key for c in DEFAULT_MATRIX]
+
+
+def _emit(cell):
+    return emit_schedule(cell.build_factor(), cell.r, backend=cell.backend)
+
+
+def _snake_sorted(dag, keys: np.ndarray) -> np.ndarray:
+    expected = np.empty_like(keys)
+    expected[..., snake_order_nodes(dag.n, dag.r)] = np.sort(keys, axis=-1)
+    return expected
+
+
+class TestOptimizedReplayProperty:
+    """optimize(dag) is observationally equal to dag on every batch kind."""
+
+    @pytest.mark.parametrize("cell", DEFAULT_MATRIX, ids=CELL_IDS)
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_optimized_replay_matches_ground_truth(self, cell, data):
+        dag = _emit(cell)
+        result = optimize_schedule(dag)  # memoised across examples
+        assert result.ok and not result.fell_back
+        kind = data.draw(
+            st.sampled_from(["random", "duplicate-heavy", "adversarial"])
+        )
+        if kind == "random":
+            keys = np.asarray(
+                data.draw(
+                    st.lists(
+                        st.integers(-(2**31), 2**31 - 1),
+                        min_size=dag.num_nodes,
+                        max_size=dag.num_nodes,
+                    )
+                )
+            )
+        elif kind == "duplicate-heavy":
+            keys = np.asarray(
+                data.draw(
+                    st.lists(
+                        st.integers(0, max(1, dag.num_nodes // 4)),
+                        min_size=dag.num_nodes,
+                        max_size=dag.num_nodes,
+                    )
+                )
+            )
+        else:
+            sets = dict(adversarial_key_sets(dag.num_nodes, seed=0))
+            keys = np.asarray(sets[data.draw(st.sampled_from(sorted(sets)))])
+        out = replay(result.optimized, keys)
+        assert np.array_equal(out, _snake_sorted(dag, keys))
+        assert np.array_equal(out, replay(dag, keys))
+
+
+class TestCertificates:
+    def test_every_cell_optimizes_with_passing_certificates(self):
+        for cell in DEFAULT_MATRIX:
+            result = optimize_schedule(_emit(cell))
+            assert not result.fell_back, cell.key
+            assert tuple(c.pass_name for c in result.certificates) == PASS_NAMES
+            assert all(c.ok for c in result.certificates), cell.key
+            assert result.validation is not None and result.validation.ok, cell.key
+
+    def test_acceptance_cell_removes_ops_and_layers(self):
+        # k2-n2-r3-machine: the merge stages are re-sorts of already-sorted
+        # 4-node blocks — 48 of its 54 comparators are dead or agglomerated
+        dag = emit_schedule(path_graph(2), 3, backend="machine")
+        result = optimize_schedule(dag)
+        assert result.comparators_removed > 0
+        assert len(result.optimized.rounds) < len(result.original.rounds)
+        before = compile_schedule(dag)
+        after = compile_schedule(dag, optimize=True)
+        assert after.num_layers < before.num_layers
+        # paper-accounted depth (charged rounds) is deliberately preserved
+        assert result.optimized.depth == result.original.depth
+
+    def test_dead_op_pass_requires_certified_analysis(self):
+        dag = emit_schedule(path_graph(3), 3, backend="machine")
+        activity = analyze_zero_one_activity(dag)
+        assert activity.certified and activity.mode == "factored"
+        optimized, cert = eliminate_dead_ops(dag)
+        assert cert.ok
+        assert cert.comparators_removed == len(activity.dead_comparators)
+
+    def test_repack_preserves_per_node_sequences_and_charges(self):
+        dag = emit_schedule(path_graph(2), 4, backend="machine")
+        packed, cert = repack_rounds(dag)
+        assert cert.ok
+        assert packed.depth == dag.depth
+        assert len(packed.rounds) <= len(dag.rounds)
+        report = verify_dag(packed, lints=("races", "zero-one", "depth"))
+        assert report.ok
+
+
+class TestTranslationValidator:
+    def test_fault_harness_catches_every_seeded_fault(self):
+        outcomes = run_optimizer_fault_harness(path_graph(3), 3, backend="machine")
+        assert len(outcomes) == len(OPTIMIZER_FAULTS) >= 2
+        for outcome in outcomes:
+            assert outcome.caught, outcome.describe()
+            assert outcome.validation.exit_code == 1
+
+    def test_validator_accepts_the_identity_translation(self):
+        dag = emit_schedule(path_graph(3), 2, backend="lattice")
+        validation = validate_translation(dag, dag)
+        assert validation.ok and validation.exit_code == 0
+        assert validation.original_hash == validation.optimized_hash
+
+    def test_failed_validation_falls_back(self, schedule_caches, monkeypatch):
+        dag = emit_schedule(path_graph(2), 2, backend="machine")
+
+        def broken_validator(original, optimized, **kwargs):
+            return TranslationValidation(
+                original_hash=original.schedule_hash(),
+                optimized_hash=optimized.schedule_hash(),
+                checks={"zero-one": False},
+                report=None,
+                replay_matches={},
+            )
+
+        monkeypatch.setattr(
+            "repro.staticcheck.validate.validate_translation", broken_validator
+        )
+        result = optimize_schedule(dag)
+        assert result.fell_back
+        assert result.optimized is result.original
+        assert result.validation is not None and result.validation.exit_code == 1
+        # the compiled path serves the (correct) unoptimized kernel
+        kernel = compile_schedule(dag, optimize=True)
+        assert kernel.schedule_hash == kernel.source_hash == dag.schedule_hash()
+
+
+class TestCompiledIntegration:
+    def test_optimized_kernel_carries_both_hashes(self, schedule_caches):
+        dag = emit_schedule(path_graph(2), 3, backend="machine")
+        kernel = compile_schedule(dag, optimize=True)
+        assert kernel.source_hash == dag.schedule_hash()
+        assert kernel.schedule_hash == optimize_schedule(dag).optimized_hash
+        assert kernel.schedule_hash != kernel.source_hash
+
+    def test_kernel_cache_keys_on_optimize_flag(self, schedule_caches):
+        dag = emit_schedule(path_graph(3), 2, backend="lattice")
+        plain = compile_schedule(dag)
+        optimized = compile_schedule(dag, optimize=True)
+        assert plain is not optimized
+        assert compile_schedule(dag, optimize=True) is optimized
+        assert compile_schedule(dag) is plain
+
+    def test_optimizer_results_are_memoised(self, schedule_caches):
+        dag = emit_schedule(path_graph(3), 2, backend="lattice")
+        assert optimize_schedule(dag) is optimize_schedule(dag)
+
+
+class TestActivityAnalysis:
+    def test_exhaustive_mode_on_small_dags(self):
+        dag = emit_schedule(path_graph(2), 3, backend="machine")
+        activity = analyze_zero_one_activity(dag)
+        assert activity.certified and activity.mode == "exhaustive"
+        assert activity.states == 2**dag.num_nodes
+
+    def test_uncertified_analysis_reports_no_dead_ops(self):
+        # r=2 rules out the factored prefix/suffix scheme, so an artificially
+        # tiny exhaustive budget leaves the analysis unverifiable
+        dag = emit_schedule(path_graph(3), 2, backend="lattice")
+        activity = analyze_zero_one_activity(dag, max_exhaustive_nodes=4)
+        assert not activity.certified and activity.mode == "unverifiable"
+        assert not activity.dead_comparators and not activity.dead_block_sorts
+        _, cert = eliminate_dead_ops(dag, max_exhaustive_nodes=4)
+        assert not cert.ok  # refusing to optimize without a proof
+
+    def test_dead_advisories_name_the_node_pair(self):
+        dag = emit_schedule(path_graph(2), 3, backend="machine")
+        report = verify_dag(dag, lints=("zero-one",))
+        advisories = [
+            f.message
+            for f in report.results["zero-one"].findings
+            if f.advisory and f.message.startswith("dead comparator:")
+        ]
+        assert advisories
+        # each advisory names the comparator's node pair, e.g. "(0, 2)"
+        assert all("(" in msg and "," in msg for msg in advisories)

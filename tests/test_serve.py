@@ -82,6 +82,19 @@ class TestSortService:
 
         _run(scenario())
 
+    def test_optimized_service_serves_the_same_snake_order(self, rng):
+        # opt-in certified-optimizer kernels: fewer layers, same answers
+        async def scenario():
+            config = ServiceConfig(max_delay_ms=0.5, optimize=True)
+            assert config.to_json()["optimize"] is True
+            async with SortService(config) as service:
+                service.prewarm(CELL)
+                keys = rng.integers(0, 1000, WIDTH)
+                out = await service.submit(CELL, keys)
+                assert np.array_equal(out, _expected(keys))
+
+        _run(scenario())
+
     def test_full_batch_flushes_without_waiting_for_the_deadline(self, rng):
         """max_batch requests coalesce into exactly one kernel flush."""
         registry = MetricsRegistry()
